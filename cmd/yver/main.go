@@ -1,0 +1,145 @@
+// Command yver runs the uncertain entity resolution pipeline over a
+// records file produced by yvgen (or any records.jsonl in the same
+// format) and emits the ranked matches and, optionally, the entity
+// clusters at a chosen certainty.
+//
+// Usage:
+//
+//	yver -in records.jsonl [-ng 3.5] [-maxminsup 5] [-certainty 0.3]
+//	     [-samesrc] [-top 20] [-clusters]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/adtree"
+	"repro/internal/core"
+	"repro/internal/gazetteer"
+	"repro/internal/mfiblocks"
+	"repro/internal/record"
+	"repro/internal/store"
+)
+
+func main() {
+	in := flag.String("in", "", "input records.jsonl (required)")
+	ng := flag.Float64("ng", 3.5, "neighborhood growth parameter")
+	maxMinSup := flag.Int("maxminsup", 5, "initial minimum support")
+	certainty := flag.Float64("certainty", 0.0, "certainty threshold for output")
+	sameSrc := flag.Bool("samesrc", true, "discard same-source candidate pairs")
+	top := flag.Int("top", 20, "ranked matches to print")
+	clusters := flag.Bool("clusters", false, "print entity clusters at the certainty")
+	first := flag.String("first", "", "search: first name (matched through equivalence classes)")
+	last := flag.String("last", "", "search: last name")
+	modelPath := flag.String("model", "", "trained ADTree model (from yvtrain); enables classification")
+	flag.Parse()
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "yver: -in is required")
+		os.Exit(2)
+	}
+	records, err := loadRecords(*in)
+	if err != nil {
+		fatal(err)
+	}
+	coll, err := record.NewCollection(records)
+	if err != nil {
+		fatal(err)
+	}
+
+	bc := mfiblocks.NewConfig()
+	bc.NG = *ng
+	bc.MaxMinSup = *maxMinSup
+	opts := core.Options{
+		Blocking:   bc,
+		Geo:        gazetteer.Builtin(0),
+		Preprocess: true,
+		SameSrc:    *sameSrc,
+	}
+	if *modelPath != "" {
+		mf, err := os.Open(*modelPath)
+		if err != nil {
+			fatal(err)
+		}
+		model, err := adtree.Load(mf)
+		mf.Close()
+		if err != nil {
+			fatal(err)
+		}
+		opts.Model = model
+		opts.Classify = true
+	}
+	res, err := core.Run(opts, coll)
+	if err != nil {
+		fatal(err)
+	}
+
+	accepted := res.AtCertainty(*certainty)
+	fmt.Printf("records=%d candidates=%d accepted@%.2f=%d (same-source dropped %d)\n",
+		coll.Len(), len(res.Matches), *certainty, len(accepted), res.DiscardedSameSrc)
+	n := *top
+	if n > len(accepted) {
+		n = len(accepted)
+	}
+	for _, m := range accepted[:n] {
+		fmt.Printf("  %d <-> %d  score=%.3f\n", m.Pair.A, m.Pair.B, m.Score)
+	}
+
+	if *first != "" || *last != "" {
+		hits := res.Search(core.Query{First: *first, Last: *last, Certainty: *certainty})
+		fmt.Printf("search %q %q @%.2f: %d entities\n", *first, *last, *certainty, len(hits))
+		for i, e := range hits {
+			if i >= *top {
+				break
+			}
+			fmt.Printf("  %v: %s\n", e.Reports, e.Narrative())
+		}
+	}
+
+	if *clusters {
+		ents := res.Clusters(*certainty)
+		multi := 0
+		for _, e := range ents {
+			if len(e.Reports) > 1 {
+				multi++
+			}
+		}
+		fmt.Printf("entities=%d (%d with multiple reports)\n", len(ents), multi)
+		shown := 0
+		for _, e := range ents {
+			if len(e.Reports) < 2 {
+				continue
+			}
+			fmt.Printf("  %v: %s\n", e.Reports, e.Narrative())
+			shown++
+			if shown >= 5 {
+				break
+			}
+		}
+	}
+}
+
+// loadRecords reads JSONL or, for .yvst files, the binary store format.
+func loadRecords(path string) ([]*record.Record, error) {
+	if strings.HasSuffix(path, ".yvst") {
+		s, err := store.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer s.Close()
+		return s.All()
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return record.ReadJSONL(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "yver: %v\n", err)
+	os.Exit(1)
+}

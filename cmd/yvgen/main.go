@@ -1,0 +1,123 @@
+// Command yvgen generates synthetic Names-Project-shaped datasets and
+// writes them (with the gold standard) to disk.
+//
+// Usage:
+//
+//	yvgen -preset italy|random|full [-persons N] [-seed S] -out dir
+//
+// It writes records.jsonl (the victim reports) and gold.jsonl (one JSON
+// object per report mapping BookID to entity and family).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dataset"
+	"repro/internal/record"
+	"repro/internal/store"
+)
+
+func main() {
+	preset := flag.String("preset", "italy", "dataset preset: italy, random, or full")
+	persons := flag.Int("persons", 0, "override the preset's person count")
+	seed := flag.Int64("seed", 0, "override the preset's seed")
+	out := flag.String("out", "", "output directory (required)")
+	binary := flag.Bool("binary", false, "also write records.yvst (binary store format)")
+	flag.Parse()
+
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "yvgen: -out is required")
+		os.Exit(2)
+	}
+
+	var cfg dataset.Config
+	switch *preset {
+	case "italy":
+		cfg = dataset.ItalyConfig()
+	case "random":
+		cfg = dataset.RandomSetConfig(47000)
+	case "full":
+		cfg = dataset.FullShapeConfig(120000)
+	default:
+		fmt.Fprintf(os.Stderr, "yvgen: unknown preset %q\n", *preset)
+		os.Exit(2)
+	}
+	if *persons > 0 {
+		cfg.Persons = *persons
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	g, err := dataset.Generate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	if err := writeRecords(filepath.Join(*out, "records.jsonl"), g.Records); err != nil {
+		fatal(err)
+	}
+	if err := writeGold(filepath.Join(*out, "gold.jsonl"), g); err != nil {
+		fatal(err)
+	}
+	if *binary {
+		if err := store.WriteAll(filepath.Join(*out, "records.yvst"), g.Records); err != nil {
+			fatal(err)
+		}
+	}
+	sizes := g.Gold.ClusterSizes()
+	fmt.Printf("wrote %d records for %d entities (%d families) to %s\n",
+		len(g.Records), g.Gold.Entities(), len(g.Families), *out)
+	fmt.Printf("cluster sizes: %v\n", sizes)
+}
+
+func writeRecords(path string, records []*record.Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := record.WriteJSONL(f, records); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+type goldRow struct {
+	BookID int64 `json:"book_id"`
+	Entity int   `json:"entity"`
+	Family int   `json:"family"`
+}
+
+func writeGold(path string, g *dataset.Generated) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	for _, r := range g.Records {
+		e, _ := g.Gold.Entity(r.BookID)
+		fam, _ := g.Gold.Family(r.BookID)
+		if err := enc.Encode(goldRow{BookID: r.BookID, Entity: e, Family: fam}); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "yvgen: %v\n", err)
+	os.Exit(1)
+}

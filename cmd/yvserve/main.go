@@ -1,0 +1,108 @@
+// Command yvserve resolves a records file and serves the uncertain
+// resolution over HTTP — the paper's Web-query interface with the
+// certainty slider.
+//
+// Usage:
+//
+//	yvserve -in records.jsonl [-model model.json] [-addr :8080]
+//
+// Then:
+//
+//	curl 'localhost:8080/api/search?last=Foa&certainty=0.3'
+//	curl 'localhost:8080/api/entity?book=1000042&certainty=0.3'
+//	curl 'localhost:8080/api/narrative?book=1000042'
+//	curl 'localhost:8080/api/stats?certainty=0.5'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro/internal/adtree"
+	"repro/internal/core"
+	"repro/internal/gazetteer"
+	"repro/internal/mfiblocks"
+	"repro/internal/record"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+func main() {
+	in := flag.String("in", "", "input records (JSONL or .yvst, required)")
+	modelPath := flag.String("model", "", "trained ADTree model (enables classification)")
+	addr := flag.String("addr", ":8080", "listen address")
+	ng := flag.Float64("ng", 3.5, "neighborhood growth parameter")
+	flag.Parse()
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "yvserve: -in is required")
+		os.Exit(2)
+	}
+	records, err := loadRecords(*in)
+	if err != nil {
+		fatal(err)
+	}
+	coll, err := record.NewCollection(records)
+	if err != nil {
+		fatal(err)
+	}
+
+	bc := mfiblocks.NewConfig()
+	bc.NG = *ng
+	opts := core.Options{
+		Blocking:   bc,
+		Geo:        gazetteer.Builtin(0),
+		Preprocess: true,
+		SameSrc:    true,
+	}
+	if *modelPath != "" {
+		mf, err := os.Open(*modelPath)
+		if err != nil {
+			fatal(err)
+		}
+		model, err := adtree.Load(mf)
+		mf.Close()
+		if err != nil {
+			fatal(err)
+		}
+		opts.Model = model
+	}
+
+	fmt.Printf("resolving %d records...\n", coll.Len())
+	res, err := core.Run(opts, coll)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("resolved: %d ranked matches\n", len(res.Matches))
+
+	srv := server.New(res, coll)
+	fmt.Printf("serving on %s (try /api/stats)\n", *addr)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		fatal(err)
+	}
+}
+
+func loadRecords(path string) ([]*record.Record, error) {
+	if strings.HasSuffix(path, ".yvst") {
+		s, err := store.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer s.Close()
+		return s.All()
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return record.ReadJSONL(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "yvserve: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,14 @@
+// Package repro reproduces "Multi-Source Uncertain Entity Resolution:
+// Transforming Holocaust Victim Reports into People" (Sagi, Gal, Barkol,
+// Bergman, Avram; SIGMOD 2016 / Information Systems).
+//
+// The library lives under internal/: the uncertain-ER pipeline in
+// internal/core, the MFIBlocks soft-blocking algorithm in
+// internal/mfiblocks over the FP-Growth/MFI miner in internal/fpgrowth,
+// the alternating-decision-tree classifier in internal/adtree, the 48
+// pair features in internal/features, ten baseline blocking techniques in
+// internal/blocking, and the synthetic Names-Project-shaped data
+// generator in internal/dataset. internal/experiments regenerates every
+// table and figure of the paper's evaluation; the benchmarks in
+// bench_test.go drive them.
+package repro

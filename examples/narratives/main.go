@@ -1,0 +1,116 @@
+// Narratives: the Guido-Foa scenario of the paper's introduction — weave
+// every report referring to one person, scattered across testimony pages
+// and victim lists under different spellings, into a single narrative.
+//
+// The example trains an ADTree on simulated expert tags, resolves the
+// Italy-shaped dataset at full pipeline strength, then picks the most
+// richly documented resolved entity and tells its story, listing the raw
+// reports (Table 1 style) next to the merged view (Figure 2 style).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/adtree"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/mfiblocks"
+	"repro/internal/record"
+)
+
+func main() {
+	cfg := dataset.ItalyConfig()
+	cfg.Persons = 700
+	gen, err := dataset.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Train the ranked-resolution classifier on simulated expert tags,
+	// exactly as the deployment did: blocking candidates are graded, the
+	// grades train the ADTree.
+	pre, err := core.PreprocessWith(gen.Collection, gen.Gaz)
+	if err != nil {
+		log.Fatal(err)
+	}
+	blk, err := mfiblocks.Run(mfiblocks.NewConfig(), pre)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tagger := &dataset.Tagger{Gold: gen.Gold, Coll: gen.Collection, Rng: rand.New(rand.NewSource(7))}
+	tags := tagger.TagPairs(blk.Pairs)
+	model, err := core.TrainModel(adtree.NewTrainConfig(), tags, gen.Collection, gen.Gaz, core.OmitMaybe)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := core.NewOptions(gen.Gaz)
+	opts.Gazetteer = gen.Gaz
+	opts.Model = model
+	res, err := core.Run(opts, gen.Collection)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Find the most richly documented resolved person.
+	var best *core.Entity
+	for _, e := range res.Clusters(0) {
+		if best == nil || len(e.Reports) > len(best.Reports) {
+			best = e
+		}
+	}
+	if best == nil || len(best.Reports) < 2 {
+		log.Fatal("no multi-report entity resolved; try a larger dataset")
+	}
+
+	fmt.Println("The reports, as they arrived over the decades:")
+	fmt.Println()
+	for _, id := range best.Reports {
+		r := gen.Collection.ByID(id)
+		fmt.Printf("  BookID %d  [%s %s]\n", r.BookID, r.Kind, r.Source)
+		printFields(r)
+	}
+
+	fmt.Println()
+	fmt.Println("Woven into one person:")
+	fmt.Printf("  %s\n", best.Narrative())
+
+	fmt.Println()
+	fmt.Println("Conflicting evidence retained by the uncertain model:")
+	for _, t := range []record.ItemType{record.FirstName, record.LastName, record.BirthYear, record.DeathCity} {
+		vs := best.Values[t]
+		if len(vs) > 1 {
+			fmt.Printf("  %-12s:", t)
+			for _, v := range vs {
+				fmt.Printf(" %s(x%d)", v.Value, v.Reports)
+			}
+			fmt.Println()
+		}
+	}
+
+	// Ground truth check, possible only because this dataset is
+	// synthetic.
+	entities := map[int]bool{}
+	for _, id := range best.Reports {
+		e, _ := gen.Gold.Entity(id)
+		entities[e] = true
+	}
+	fmt.Println()
+	fmt.Printf("ground truth: the %d reports belong to %d true person(s)\n",
+		len(best.Reports), len(entities))
+}
+
+func printFields(r *record.Record) {
+	show := []record.ItemType{
+		record.FirstName, record.LastName, record.Gender, record.BirthYear,
+		record.BirthCity, record.PermCity, record.DeathCity,
+		record.SpouseName, record.MotherName, record.FatherName,
+	}
+	for _, t := range show {
+		if vs := r.Values(t); len(vs) > 0 {
+			fmt.Printf("      %-14s %v\n", t, vs)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Uncertainquery: the probabilistic-database view of Section 3.2 — keep
+// every pairwise comparison as an uncertain same-as relation and answer
+// different questions from the SAME resolution:
+//
+//   - "How many victims do these reports describe?" needs one
+//     deterministic number -> expected entity count over possible worlds.
+//   - "Are these two reports the same person?" wants a probability,
+//     including transitive evidence the ranked list cannot see.
+//   - A museum app wants one crisp clustering -> the most likely world.
+//
+// It also runs the source-analysis extension: submitter dedup and
+// per-source reliability.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/adtree"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/mfiblocks"
+	"repro/internal/narrative"
+	"repro/internal/probdb"
+	"repro/internal/sources"
+)
+
+func main() {
+	cfg := dataset.ItalyConfig()
+	cfg.Persons = 500
+	gen, err := dataset.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Resolve with a trained model so scores are calibrated confidences.
+	pre, err := core.PreprocessWith(gen.Collection, gen.Gaz)
+	if err != nil {
+		log.Fatal(err)
+	}
+	blk, err := mfiblocks.Run(mfiblocks.NewConfig(), pre)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tagger := &dataset.Tagger{Gold: gen.Gold, Coll: gen.Collection, Rng: rand.New(rand.NewSource(3))}
+	tags := tagger.TagPairs(blk.Pairs)
+	model, err := core.TrainModel(adtree.NewTrainConfig(), tags, gen.Collection, gen.Gaz, core.OmitMaybe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := core.NewOptions(gen.Gaz)
+	opts.Gazetteer = gen.Gaz
+	opts.Model = model
+	opts.Classify = false // keep ALL scored pairs: the probabilistic DB wants them
+	res, err := core.Run(opts, gen.Collection)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Load the same-as relation with calibrated probabilities.
+	ids := make([]int64, 0, gen.Collection.Len())
+	for _, r := range gen.Collection.Records {
+		ids = append(ids, r.BookID)
+	}
+	store := probdb.New(ids)
+	calib := probdb.NewCalibration()
+	for _, m := range res.Matches {
+		if err := store.Add(m.Pair, calib.Prob(m.Score)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("same-as relation: %d records, %d uncertain edges\n", store.Len(), len(store.Edges()))
+
+	// Q1: one deterministic number for the museum wall.
+	expected := store.ExpectedEntities(300, 17)
+	fmt.Printf("expected distinct victims: %.1f (ground truth %d)\n", expected, gen.Gold.Entities())
+
+	// Q2: pairwise probability including transitivity.
+	shown := 0
+	for _, m := range res.Matches {
+		direct := store.DirectProb(m.Pair)
+		if direct < 0.4 || direct > 0.6 {
+			continue // pick genuinely uncertain pairs
+		}
+		p, err := store.SameEntityProb(m.Pair.A, m.Pair.B, 300, 23)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("P(%d ~ %d): direct %.2f, with transitive evidence %.2f (gold: %v)\n",
+			m.Pair.A, m.Pair.B, direct, p, gen.Gold.Match(m.Pair.A, m.Pair.B))
+		shown++
+		if shown >= 3 {
+			break
+		}
+	}
+
+	// Q3: the crisp view, plus a narrative with conflict flags.
+	world := store.MostLikelyWorld()
+	fmt.Printf("most likely world: %d entities\n", len(world))
+	nb := &narrative.Builder{Coll: gen.Collection}
+	for _, group := range world {
+		if len(group) >= 3 {
+			n := nb.Build(fmt.Sprintf("entity of report %d", group[0]), group)
+			fmt.Println()
+			fmt.Print(n)
+			break
+		}
+	}
+
+	// Extension: source analysis.
+	clusters := sources.DedupSubmitters(sources.NewDedupConfig(), gen.Collection)
+	distinct := 0
+	for _, r := range gen.Collection.Records {
+		if _, ok := sources.ParseSubmitter(r.Source); ok {
+			distinct++
+		}
+	}
+	fmt.Printf("\nsubmitter ER: %d clusters\n", len(clusters))
+	profiles := sources.ProfileSources(gen.Collection, res.Pairs())
+	fmt.Println("largest sources by volume:")
+	for i, p := range profiles {
+		if i >= 4 {
+			break
+		}
+		fmt.Printf("  %s\n", p)
+	}
+}

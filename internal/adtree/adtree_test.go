@@ -1,0 +1,282 @@
+package adtree
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/features"
+)
+
+func numDefs(n int) []features.Def {
+	defs := make([]features.Def, n)
+	for i := range defs {
+		defs[i] = features.Def{ID: i, Name: "x" + string(rune('0'+i)), Kind: features.Numeric}
+	}
+	return defs
+}
+
+func numVec(vals ...float64) features.Vector {
+	v := make(features.Vector, len(vals))
+	for i, x := range vals {
+		v[i] = features.Value{Present: true, Num: x}
+	}
+	return v
+}
+
+func TestLearnsThreshold(t *testing.T) {
+	// Single numeric feature: match iff x < 0.5.
+	defs := numDefs(1)
+	rng := rand.New(rand.NewSource(1))
+	var insts []Instance
+	for i := 0; i < 400; i++ {
+		x := rng.Float64()
+		insts = append(insts, Instance{X: numVec(x), Match: x < 0.5})
+	}
+	m, err := Train(NewTrainConfig(), defs, insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for _, inst := range insts {
+		if m.Classify(inst.X) == inst.Match {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(insts)); acc < 0.98 {
+		t.Errorf("threshold accuracy %.3f < 0.98\n%s", acc, m)
+	}
+}
+
+func TestLearnsXOR(t *testing.T) {
+	// XOR over two numeric features needs an alternating structure —
+	// a single split cannot express it.
+	defs := numDefs(2)
+	rng := rand.New(rand.NewSource(2))
+	var insts []Instance
+	for i := 0; i < 800; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		insts = append(insts, Instance{X: numVec(a, b), Match: (a < 0.5) != (b < 0.5)})
+	}
+	cfg := NewTrainConfig()
+	cfg.Rounds = 12
+	m, err := Train(cfg, defs, insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for _, inst := range insts {
+		if m.Classify(inst.X) == inst.Match {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(insts)); acc < 0.95 {
+		t.Errorf("XOR accuracy %.3f < 0.95\n%s", acc, m)
+	}
+}
+
+func TestLearnsCategorical(t *testing.T) {
+	defs := []features.Def{{ID: 0, Name: "color", Kind: features.Categorical, Levels: []string{"red", "green", "blue"}}}
+	var insts []Instance
+	for i := 0; i < 300; i++ {
+		lv := []string{"red", "green", "blue"}[i%3]
+		v := features.Vector{{Present: true, Cat: lv}}
+		insts = append(insts, Instance{X: v, Match: lv == "green"})
+	}
+	m, err := Train(NewTrainConfig(), defs, insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lv := range []string{"red", "green", "blue"} {
+		v := features.Vector{{Present: true, Cat: lv}}
+		if got, want := m.Classify(v), lv == "green"; got != want {
+			t.Errorf("Classify(%s) = %v, want %v", lv, got, want)
+		}
+	}
+}
+
+func TestMissingValueSkipsSubtree(t *testing.T) {
+	// Train on two features where feature 0 is decisive; an instance
+	// missing feature 0 must still get a score (root + reachable nodes)
+	// and must not consult the missing splitter.
+	defs := numDefs(2)
+	rng := rand.New(rand.NewSource(3))
+	var insts []Instance
+	for i := 0; i < 300; i++ {
+		x := rng.Float64()
+		insts = append(insts, Instance{X: numVec(x, rng.Float64()), Match: x < 0.5})
+	}
+	m, err := Train(NewTrainConfig(), defs, insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing := features.Vector{{Present: false}, {Present: true, Num: 0.3}}
+	got := m.Score(missing)
+	// The score must equal the root plus contributions of splitters on
+	// feature 1 only. Recompute by zeroing out feature-0 splitters.
+	want := scoreSkipping(m.Root, missing, 0)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("missing-feature score %v, want %v", got, want)
+	}
+}
+
+// scoreSkipping mirrors Model.Score but asserts no splitter on the skipped
+// feature is entered.
+func scoreSkipping(p *PredictionNode, v features.Vector, skip int) float64 {
+	sum := p.Value
+	for _, s := range p.Splitters {
+		if s.Cond.Feature == skip {
+			continue
+		}
+		switch s.Cond.Eval(v) {
+		case 1:
+			sum += scoreSkipping(s.True, v, skip)
+		case 0:
+			sum += scoreSkipping(s.False, v, skip)
+		}
+	}
+	return sum
+}
+
+func TestScoreIsSumOfReachablePredictions(t *testing.T) {
+	defs := numDefs(2)
+	rng := rand.New(rand.NewSource(4))
+	var insts []Instance
+	for i := 0; i < 200; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		insts = append(insts, Instance{X: numVec(a, b), Match: a+b < 1})
+	}
+	m, err := Train(NewTrainConfig(), defs, insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := numVec(0.25, 0.75)
+	// Manual reachable-sum.
+	var manual func(p *PredictionNode) float64
+	manual = func(p *PredictionNode) float64 {
+		sum := p.Value
+		for _, s := range p.Splitters {
+			switch s.Cond.Eval(v) {
+			case 1:
+				sum += manual(s.True)
+			case 0:
+				sum += manual(s.False)
+			}
+		}
+		return sum
+	}
+	if got, want := m.Score(v), manual(m.Root); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Score=%v, manual=%v", got, want)
+	}
+}
+
+func TestTrainingErrorNonIncreasing(t *testing.T) {
+	defs := numDefs(3)
+	rng := rand.New(rand.NewSource(5))
+	var insts []Instance
+	for i := 0; i < 400; i++ {
+		a, b, c := rng.Float64(), rng.Float64(), rng.Float64()
+		insts = append(insts, Instance{X: numVec(a, b, c), Match: a < 0.4 || (b < 0.3 && c > 0.6)})
+	}
+	errAt := func(rounds int) float64 {
+		cfg := NewTrainConfig()
+		cfg.Rounds = rounds
+		m, err := Train(cfg, defs, insts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wrong := 0
+		for _, inst := range insts {
+			if m.Classify(inst.X) != inst.Match {
+				wrong++
+			}
+		}
+		return float64(wrong) / float64(len(insts))
+	}
+	e1, e5, e15 := errAt(1), errAt(5), errAt(15)
+	if e5 > e1+0.02 || e15 > e5+0.02 {
+		t.Errorf("training error not roughly decreasing: %v -> %v -> %v", e1, e5, e15)
+	}
+}
+
+func TestRenderFormat(t *testing.T) {
+	defs := numDefs(1)
+	var insts []Instance
+	for i := 0; i < 100; i++ {
+		x := float64(i) / 100
+		insts = append(insts, Instance{X: numVec(x), Match: x < 0.5})
+	}
+	cfg := NewTrainConfig()
+	cfg.Rounds = 2
+	m, err := Train(cfg, defs, insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.String()
+	if !strings.HasPrefix(s, ": ") {
+		t.Errorf("rendering must start with root value, got %q", s)
+	}
+	if !strings.Contains(s, "(1)x0 < ") || !strings.Contains(s, "(1)x0 >= ") {
+		t.Errorf("rendering missing split branches:\n%s", s)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(NewTrainConfig(), numDefs(1), nil); err == nil {
+		t.Error("Train with no instances should fail")
+	}
+	cfg := NewTrainConfig()
+	cfg.Rounds = 0
+	if _, err := Train(cfg, numDefs(1), []Instance{{X: numVec(1), Match: true}}); err == nil {
+		t.Error("Train with zero rounds should fail")
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	defs := numDefs(2)
+	rng := rand.New(rand.NewSource(6))
+	var insts []Instance
+	for i := 0; i < 200; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		insts = append(insts, Instance{X: numVec(a, b), Match: a < b})
+	}
+	m1, err := Train(NewTrainConfig(), defs, insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(NewTrainConfig(), defs, insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.String() != m2.String() {
+		t.Errorf("training not deterministic:\n%s\nvs\n%s", m1, m2)
+	}
+}
+
+func TestUsedFeaturesSubset(t *testing.T) {
+	defs := numDefs(4)
+	rng := rand.New(rand.NewSource(7))
+	var insts []Instance
+	for i := 0; i < 300; i++ {
+		// Only feature 2 matters.
+		v := numVec(rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64())
+		insts = append(insts, Instance{X: v, Match: v[2].Num < 0.5})
+	}
+	cfg := NewTrainConfig()
+	cfg.Rounds = 3
+	m, err := Train(cfg, defs, insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := m.UsedFeatures()
+	foundDecisive := false
+	for _, f := range used {
+		if f == 2 {
+			foundDecisive = true
+		}
+	}
+	if !foundDecisive {
+		t.Errorf("decisive feature 2 not used; used=%v\n%s", used, m)
+	}
+}

@@ -1,0 +1,47 @@
+package adtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchInstances(n int) []Instance {
+	rng := rand.New(rand.NewSource(21))
+	insts := make([]Instance, n)
+	for i := range insts {
+		x := numVec(rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64())
+		// Sprinkle missing values, as the multi-source data does.
+		if rng.Float64() < 0.3 {
+			x[rng.Intn(4)].Present = false
+		}
+		insts[i] = Instance{X: x, Match: x[0].Present && x[0].Num < 0.4 || x[1].Num > 0.7}
+	}
+	return insts
+}
+
+func BenchmarkTrain(b *testing.B) {
+	defs := numDefs(4)
+	insts := benchInstances(2000)
+	cfg := NewTrainConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(cfg, defs, insts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScore(b *testing.B) {
+	defs := numDefs(4)
+	insts := benchInstances(2000)
+	m, err := Train(NewTrainConfig(), defs, insts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Score(insts[i%len(insts)].X)
+	}
+}

@@ -1,0 +1,319 @@
+package adtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/features"
+)
+
+// Instance is one labelled training example.
+type Instance struct {
+	X features.Vector
+	// Match is the binary label (+1 match / -1 non-match).
+	Match bool
+}
+
+// TrainConfig controls boosting.
+type TrainConfig struct {
+	// Rounds is the number of boosting rounds (splitters added). The
+	// paper's models use about ten.
+	Rounds int
+	// MaxThresholds caps the candidate split points per numeric feature;
+	// candidates are value midpoints, quantile-thinned beyond the cap.
+	MaxThresholds int
+}
+
+// NewTrainConfig returns the defaults used across the experiments.
+func NewTrainConfig() TrainConfig {
+	return TrainConfig{Rounds: 10, MaxThresholds: 48}
+}
+
+// Train boosts an alternating decision tree over the instances.
+func Train(cfg TrainConfig, defs []features.Def, insts []Instance) (*Model, error) {
+	if len(insts) == 0 {
+		return nil, fmt.Errorf("adtree: no training instances")
+	}
+	if cfg.Rounds < 1 {
+		return nil, fmt.Errorf("adtree: Rounds must be >= 1, got %d", cfg.Rounds)
+	}
+	if cfg.MaxThresholds < 1 {
+		cfg.MaxThresholds = 48
+	}
+
+	t := &trainer{cfg: cfg, defs: defs, insts: insts}
+	t.init()
+	for round := 1; round <= cfg.Rounds; round++ {
+		if !t.boostOnce(round) {
+			break // no splittable mass left
+		}
+	}
+	return &Model{Root: t.root, Defs: defs, Rounds: t.completed}, nil
+}
+
+// trainer carries boosting state.
+type trainer struct {
+	cfg   TrainConfig
+	defs  []features.Def
+	insts []Instance
+
+	weights   []float64
+	root      *PredictionNode
+	nodes     []*PredictionNode // all prediction nodes (preconditions)
+	reach     [][]int           // per node: instance indices reaching it
+	completed int
+
+	candidates [][]Condition // per feature
+}
+
+func (t *trainer) init() {
+	n := len(t.insts)
+	t.weights = make([]float64, n)
+	var wp, wn float64
+	for i, inst := range t.insts {
+		t.weights[i] = 1
+		if inst.Match {
+			wp++
+		} else {
+			wn++
+		}
+	}
+	t.root = &PredictionNode{Value: halfLogRatio(wp, wn)}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	t.nodes = []*PredictionNode{t.root}
+	t.reach = [][]int{all}
+
+	// Reweight by the root prediction.
+	for i, inst := range t.insts {
+		t.weights[i] = math.Exp(-sign(inst.Match) * t.root.Value)
+	}
+
+	t.buildCandidates()
+}
+
+// buildCandidates enumerates the base conditions per feature: equality
+// with each level for categoricals, and midpoints of observed values
+// (quantile-thinned) for numerics.
+func (t *trainer) buildCandidates() {
+	t.candidates = make([][]Condition, len(t.defs))
+	for _, d := range t.defs {
+		if d.Kind == features.Categorical {
+			for _, lv := range d.Levels {
+				t.candidates[d.ID] = append(t.candidates[d.ID], Condition{Feature: d.ID, Level: lv})
+			}
+			continue
+		}
+		var vals []float64
+		for _, inst := range t.insts {
+			if d.ID < len(inst.X) && inst.X[d.ID].Present {
+				vals = append(vals, inst.X[d.ID].Num)
+			}
+		}
+		if len(vals) < 2 {
+			continue
+		}
+		sort.Float64s(vals)
+		var mids []float64
+		for i := 1; i < len(vals); i++ {
+			if vals[i] != vals[i-1] {
+				mids = append(mids, (vals[i]+vals[i-1])/2)
+			}
+		}
+		if len(mids) > t.cfg.MaxThresholds {
+			thinned := make([]float64, 0, t.cfg.MaxThresholds)
+			for k := 0; k < t.cfg.MaxThresholds; k++ {
+				thinned = append(thinned, mids[k*len(mids)/t.cfg.MaxThresholds])
+			}
+			mids = thinned
+		}
+		for _, m := range mids {
+			t.candidates[d.ID] = append(t.candidates[d.ID], Condition{Feature: d.ID, Numeric: true, Threshold: m})
+		}
+	}
+}
+
+// boostOnce adds the rule minimizing the Z criterion. It reports false
+// when no candidate improves on the trivial rule.
+func (t *trainer) boostOnce(round int) bool {
+	totalW := 0.0
+	for _, w := range t.weights {
+		totalW += w
+	}
+
+	type best struct {
+		z    float64
+		node int
+		cond Condition
+		ok   bool
+	}
+	bst := best{z: math.Inf(1)}
+
+	for ni := range t.nodes {
+		reach := t.reach[ni]
+		if len(reach) == 0 {
+			continue
+		}
+		var wNode float64
+		for _, i := range reach {
+			wNode += t.weights[i]
+		}
+		wRest := totalW - wNode
+
+		for f := range t.candidates {
+			if len(t.candidates[f]) == 0 {
+				continue
+			}
+			// Split the node's mass by presence of feature f.
+			var wMissing float64
+			var present []int
+			for _, i := range reach {
+				if f < len(t.insts[i].X) && t.insts[i].X[f].Present {
+					present = append(present, i)
+				} else {
+					wMissing += t.weights[i]
+				}
+			}
+			if len(present) == 0 {
+				continue
+			}
+			base := wRest + wMissing
+
+			if t.defs[f].Kind == features.Categorical {
+				t.scanCategorical(&bst.z, &bst.node, &bst.cond, &bst.ok, ni, f, present, base)
+			} else {
+				t.scanNumeric(&bst.z, &bst.node, &bst.cond, &bst.ok, ni, f, present, base)
+			}
+		}
+	}
+	if !bst.ok {
+		return false
+	}
+	t.addRule(round, bst.node, bst.cond)
+	t.completed = round
+	return true
+}
+
+// scanCategorical evaluates every level of feature f at node ni.
+func (t *trainer) scanCategorical(bestZ *float64, bestNode *int, bestCond *Condition, ok *bool, ni, f int, present []int, base float64) {
+	// Per-level positive/negative weights.
+	type wpair struct{ wp, wn float64 }
+	perLevel := make(map[string]wpair)
+	var wpAll, wnAll float64
+	for _, i := range present {
+		w := t.weights[i]
+		lv := t.insts[i].X[f].Cat
+		e := perLevel[lv]
+		if t.insts[i].Match {
+			e.wp += w
+			wpAll += w
+		} else {
+			e.wn += w
+			wnAll += w
+		}
+		perLevel[lv] = e
+	}
+	for _, cond := range t.candidates[f] {
+		e := perLevel[cond.Level]
+		z := zValue(e.wp, e.wn, wpAll-e.wp, wnAll-e.wn, base)
+		if z < *bestZ {
+			*bestZ, *bestNode, *bestCond, *ok = z, ni, cond, true
+		}
+	}
+}
+
+// scanNumeric sweeps the sorted present values once, evaluating every
+// candidate threshold cumulatively.
+func (t *trainer) scanNumeric(bestZ *float64, bestNode *int, bestCond *Condition, ok *bool, ni, f int, present []int, base float64) {
+	type rec struct {
+		v     float64
+		w     float64
+		match bool
+	}
+	recs := make([]rec, len(present))
+	var wpAll, wnAll float64
+	for k, i := range present {
+		recs[k] = rec{v: t.insts[i].X[f].Num, w: t.weights[i], match: t.insts[i].Match}
+		if recs[k].match {
+			wpAll += recs[k].w
+		} else {
+			wnAll += recs[k].w
+		}
+	}
+	sort.Slice(recs, func(a, b int) bool { return recs[a].v < recs[b].v })
+
+	conds := t.candidates[f] // sorted by construction (midpoints ascending)
+	ci := 0
+	var wpLT, wnLT float64
+	for k := 0; k < len(recs) && ci < len(conds); k++ {
+		// Advance thresholds that lie at or below the current value: all
+		// records before k are < threshold.
+		for ci < len(conds) && conds[ci].Threshold <= recs[k].v {
+			z := zValue(wpLT, wnLT, wpAll-wpLT, wnAll-wnLT, base)
+			if z < *bestZ {
+				*bestZ, *bestNode, *bestCond, *ok = z, ni, conds[ci], true
+			}
+			ci++
+		}
+		if recs[k].match {
+			wpLT += recs[k].w
+		} else {
+			wnLT += recs[k].w
+		}
+	}
+	for ; ci < len(conds); ci++ {
+		z := zValue(wpLT, wnLT, wpAll-wpLT, wnAll-wnLT, base)
+		if z < *bestZ {
+			*bestZ, *bestNode, *bestCond, *ok = z, ni, conds[ci], true
+		}
+	}
+}
+
+// zValue is the Freund–Mason Z criterion with the remainder mass `base`
+// (weights outside the precondition plus missing-feature mass).
+func zValue(wpT, wnT, wpF, wnF, base float64) float64 {
+	return 2*(math.Sqrt(wpT*wnT)+math.Sqrt(wpF*wnF)) + base
+}
+
+// addRule attaches the chosen splitter, computes its prediction values,
+// reweights, and extends the precondition set.
+func (t *trainer) addRule(round, ni int, cond Condition) {
+	reach := t.reach[ni]
+	var listT, listF []int
+	var wpT, wnT, wpF, wnF float64
+	for _, i := range reach {
+		switch cond.Eval(t.insts[i].X) {
+		case 1:
+			listT = append(listT, i)
+			if t.insts[i].Match {
+				wpT += t.weights[i]
+			} else {
+				wnT += t.weights[i]
+			}
+		case 0:
+			listF = append(listF, i)
+			if t.insts[i].Match {
+				wpF += t.weights[i]
+			} else {
+				wnF += t.weights[i]
+			}
+		}
+	}
+	nodeT := &PredictionNode{Value: halfLogRatio(wpT, wnT)}
+	nodeF := &PredictionNode{Value: halfLogRatio(wpF, wnF)}
+	sp := &SplitterNode{Order: round, Cond: cond, True: nodeT, False: nodeF}
+	t.nodes[ni].Splitters = append(t.nodes[ni].Splitters, sp)
+
+	for _, i := range listT {
+		t.weights[i] *= math.Exp(-sign(t.insts[i].Match) * nodeT.Value)
+	}
+	for _, i := range listF {
+		t.weights[i] *= math.Exp(-sign(t.insts[i].Match) * nodeF.Value)
+	}
+
+	t.nodes = append(t.nodes, nodeT, nodeF)
+	t.reach = append(t.reach, listT, listF)
+}

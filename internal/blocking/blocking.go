@@ -1,0 +1,132 @@
+// Package blocking implements the ten baseline block-building techniques
+// of the paper's comparative evaluation (Table 10, following Papadakis et
+// al.'s survey): Standard Blocking, Attribute Clustering, Canopy
+// Clustering and its extension, Q-Grams and Extended Q-Grams Blocking,
+// Extended Sorted Neighborhood, Suffix Arrays and its extension, and
+// TYPiMatch. Each produces blocks of collection indices; evaluation runs
+// over the distinct pairs the blocks induce.
+package blocking
+
+import (
+	"repro/internal/eval"
+	"repro/internal/record"
+)
+
+// Block is a set of collection indices that will be compared pairwise.
+type Block struct {
+	// Key describes what brought the members together (debugging aid).
+	Key string
+	// Members are positional indices into the collection.
+	Members []int
+}
+
+// Blocker is a block-building technique.
+type Blocker interface {
+	// Name returns the technique's short name as used in Table 10.
+	Name() string
+	// Block builds the candidate blocks for the collection.
+	Block(coll *record.Collection) []Block
+}
+
+// MaxBlockShare is the block-purging guard shared by all baselines: blocks
+// holding more than this share of the collection are discarded (they carry
+// no discriminating power and only inflate the pair count).
+const MaxBlockShare = 0.5
+
+// purge drops blocks with fewer than two members or more than
+// MaxBlockShare of the collection.
+func purge(blocks []Block, n int) []Block {
+	limit := int(MaxBlockShare * float64(n))
+	if limit < 2 {
+		limit = 2
+	}
+	out := blocks[:0]
+	for _, b := range blocks {
+		if len(b.Members) >= 2 && len(b.Members) <= limit {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Pairs accumulates the distinct pairs induced by the blocks into a
+// bitmap over n records.
+func Pairs(blocks []Block, n int) *eval.PairBitmap {
+	bm := eval.NewPairBitmap(n)
+	for _, b := range blocks {
+		for i := 0; i < len(b.Members); i++ {
+			for j := i + 1; j < len(b.Members); j++ {
+				bm.Add(b.Members[i], b.Members[j])
+			}
+		}
+	}
+	return bm
+}
+
+// EvaluateBlocks scores a blocker's output against the truth pairs (given
+// as collection index pairs).
+func EvaluateBlocks(blocks []Block, n int, truth [][2]int) eval.Metrics {
+	bm := Pairs(blocks, n)
+	var m eval.Metrics
+	for _, tp := range truth {
+		if bm.Has(tp[0], tp[1]) {
+			m.TP++
+		}
+	}
+	candidates := bm.Count()
+	m.FP = candidates - m.TP
+	m.FN = len(truth) - m.TP
+	if candidates > 0 {
+		m.Precision = float64(m.TP) / float64(candidates)
+	}
+	if len(truth) > 0 {
+		m.Recall = float64(m.TP) / float64(len(truth))
+	}
+	if m.Precision+m.Recall > 0 {
+		m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	}
+	return m
+}
+
+// keyIndex builds blocks from a key -> members inverted index,
+// deterministically ordered by key.
+type keyIndex struct {
+	keys    []string
+	members map[string][]int
+}
+
+func newKeyIndex() *keyIndex {
+	return &keyIndex{members: make(map[string][]int)}
+}
+
+func (k *keyIndex) add(key string, idx int) {
+	if _, ok := k.members[key]; !ok {
+		k.keys = append(k.keys, key)
+	}
+	ms := k.members[key]
+	if len(ms) > 0 && ms[len(ms)-1] == idx {
+		return // consecutive duplicate from multi-valued attributes
+	}
+	k.members[key] = append(ms, idx)
+}
+
+func (k *keyIndex) blocks() []Block {
+	out := make([]Block, 0, len(k.keys))
+	for _, key := range k.keys {
+		out = append(out, Block{Key: key, Members: dedupInts(k.members[key])})
+	}
+	return out
+}
+
+func dedupInts(xs []int) []int {
+	seen := make(map[int]struct{}, len(xs))
+	out := xs[:0:0]
+	for _, x := range xs {
+		if _, dup := seen[x]; dup {
+			continue
+		}
+		seen[x] = struct{}{}
+		out = append(out, x)
+	}
+	return out
+}

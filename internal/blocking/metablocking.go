@@ -1,0 +1,191 @@
+package blocking
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Meta-blocking (Papadakis et al.): comparison cleaning that restructures
+// a redundancy-positive block collection into a weighted comparison graph
+// and prunes low-evidence edges. The paper performs comparison cleaning
+// through classification; meta-blocking is the schema-agnostic
+// alternative the survey evaluates, included here as an extension so the
+// baselines can be studied with and without it.
+
+// WeightScheme assigns evidence weights to co-occurring record pairs.
+type WeightScheme uint8
+
+// The weighting schemes.
+const (
+	// CBS weights a pair by its number of common blocks.
+	CBS WeightScheme = iota
+	// JS weights a pair by the Jaccard coefficient of the records'
+	// block lists.
+	JS
+	// ARCS weights a pair by the sum of 1/|b| over common blocks b:
+	// small blocks carry more evidence.
+	ARCS
+)
+
+func (s WeightScheme) String() string {
+	switch s {
+	case CBS:
+		return "CBS"
+	case JS:
+		return "JS"
+	case ARCS:
+		return "ARCS"
+	}
+	return fmt.Sprintf("WeightScheme(%d)", uint8(s))
+}
+
+// PruneScheme decides which weighted edges survive.
+type PruneScheme uint8
+
+// The pruning schemes.
+const (
+	// WEP keeps edges above the global mean weight (weight edge
+	// pruning).
+	WEP PruneScheme = iota
+	// WNP keeps, per node, edges above the node's mean weight (weighted
+	// node pruning); an edge survives if either endpoint keeps it.
+	WNP
+)
+
+func (s PruneScheme) String() string {
+	if s == WEP {
+		return "WEP"
+	}
+	return "WNP"
+}
+
+// MetaBlocking refines a block collection.
+type MetaBlocking struct {
+	Weight WeightScheme
+	Prune  PruneScheme
+}
+
+// WeightedPair is one surviving comparison.
+type WeightedPair struct {
+	A, B   int
+	Weight float64
+}
+
+// Refine builds the comparison graph of the blocks over n records and
+// prunes it, returning the surviving pairs sorted by descending weight.
+func (m MetaBlocking) Refine(blocks []Block, n int) []WeightedPair {
+	// Per-record block lists for JS; pair accumulators for CBS/ARCS.
+	blocksPerRecord := make([]int, n)
+	type key struct{ a, b int }
+	common := make(map[key]float64)
+	cbs := make(map[key]int)
+	for _, blk := range blocks {
+		for i := 0; i < len(blk.Members); i++ {
+			blocksPerRecord[blk.Members[i]]++
+			for j := i + 1; j < len(blk.Members); j++ {
+				a, b := blk.Members[i], blk.Members[j]
+				if a > b {
+					a, b = b, a
+				}
+				k := key{a, b}
+				cbs[k]++
+				common[k] += 1 / float64(len(blk.Members))
+			}
+		}
+	}
+
+	pairs := make([]WeightedPair, 0, len(cbs))
+	for k, c := range cbs {
+		var w float64
+		switch m.Weight {
+		case CBS:
+			w = float64(c)
+		case JS:
+			union := blocksPerRecord[k.a] + blocksPerRecord[k.b] - c
+			if union > 0 {
+				w = float64(c) / float64(union)
+			}
+		case ARCS:
+			w = common[k]
+		}
+		pairs = append(pairs, WeightedPair{A: k.a, B: k.b, Weight: w})
+	}
+
+	var kept []WeightedPair
+	switch m.Prune {
+	case WEP:
+		mean := 0.0
+		for _, p := range pairs {
+			mean += p.Weight
+		}
+		if len(pairs) > 0 {
+			mean /= float64(len(pairs))
+		}
+		for _, p := range pairs {
+			if p.Weight > mean {
+				kept = append(kept, p)
+			}
+		}
+	case WNP:
+		// Node means.
+		sum := make([]float64, n)
+		cnt := make([]int, n)
+		for _, p := range pairs {
+			sum[p.A] += p.Weight
+			sum[p.B] += p.Weight
+			cnt[p.A]++
+			cnt[p.B]++
+		}
+		mean := func(i int) float64 {
+			if cnt[i] == 0 {
+				return 0
+			}
+			return sum[i] / float64(cnt[i])
+		}
+		for _, p := range pairs {
+			if p.Weight >= mean(p.A) || p.Weight >= mean(p.B) {
+				kept = append(kept, p)
+			}
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].Weight != kept[j].Weight {
+			return kept[i].Weight > kept[j].Weight
+		}
+		if kept[i].A != kept[j].A {
+			return kept[i].A < kept[j].A
+		}
+		return kept[i].B < kept[j].B
+	})
+	return kept
+}
+
+// EvaluatePairs scores surviving comparisons against truth index pairs.
+func EvaluatePairs(pairs []WeightedPair, n int, truth [][2]int) (recall, precision float64) {
+	bm := newPairSet(pairs)
+	tp := 0
+	for _, t := range truth {
+		a, b := t[0], t[1]
+		if a > b {
+			a, b = b, a
+		}
+		if bm[[2]int{a, b}] {
+			tp++
+		}
+	}
+	if len(truth) > 0 {
+		recall = float64(tp) / float64(len(truth))
+	}
+	if len(pairs) > 0 {
+		precision = float64(tp) / float64(len(pairs))
+	}
+	return recall, precision
+}
+
+func newPairSet(pairs []WeightedPair) map[[2]int]bool {
+	m := make(map[[2]int]bool, len(pairs))
+	for _, p := range pairs {
+		m[[2]int{p.A, p.B}] = true
+	}
+	return m
+}

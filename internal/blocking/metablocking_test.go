@@ -1,0 +1,97 @@
+package blocking
+
+import (
+	"testing"
+)
+
+func TestMetaBlockingImprovesPrecision(t *testing.T) {
+	coll, g := smallCollection(t)
+	truth := g.Gold.TruePairs()
+	truthIdx := make([][2]int, 0, len(truth))
+	for _, p := range truth {
+		truthIdx = append(truthIdx, [2]int{coll.Index(p.A), coll.Index(p.B)})
+	}
+	blocks := Standard{}.Block(coll)
+	base := EvaluateBlocks(blocks, coll.Len(), truthIdx)
+
+	for _, ws := range []WeightScheme{CBS, JS, ARCS} {
+		for _, ps := range []PruneScheme{WEP, WNP} {
+			mb := MetaBlocking{Weight: ws, Prune: ps}
+			kept := mb.Refine(blocks, coll.Len())
+			if len(kept) == 0 {
+				t.Fatalf("%v/%v pruned everything", ws, ps)
+			}
+			recall, precision := EvaluatePairs(kept, coll.Len(), truthIdx)
+			t.Logf("%v/%v: pairs=%d recall=%.3f precision=%.5f (StBl baseline precision %.5f)",
+				ws, ps, len(kept), recall, precision, base.Precision)
+			if precision <= base.Precision {
+				t.Errorf("%v/%v precision %.5f did not improve on raw blocks %.5f",
+					ws, ps, precision, base.Precision)
+			}
+			if recall < base.Recall*0.5 {
+				t.Errorf("%v/%v recall collapsed: %.3f (raw %.3f)", ws, ps, recall, base.Recall)
+			}
+		}
+	}
+}
+
+func TestMetaBlockingWeights(t *testing.T) {
+	// Two blocks: {0,1,2} and {0,1}. Pair (0,1) co-occurs twice.
+	blocks := []Block{
+		{Members: []int{0, 1, 2}},
+		{Members: []int{0, 1}},
+	}
+	weightOf := func(ws WeightScheme, a, b int) float64 {
+		for _, p := range (MetaBlocking{Weight: ws, Prune: WNP}).Refine(blocks, 3) {
+			if p.A == a && p.B == b {
+				return p.Weight
+			}
+		}
+		return -1
+	}
+	if w := weightOf(CBS, 0, 1); w != 2 {
+		t.Errorf("CBS(0,1) = %v, want 2", w)
+	}
+	// JS(0,1): common 2, blocks(0)=2, blocks(1)=2, union = 2 -> 1.0.
+	if w := weightOf(JS, 0, 1); w != 1 {
+		t.Errorf("JS(0,1) = %v, want 1", w)
+	}
+	// ARCS(0,1) = 1/3 + 1/2.
+	if w := weightOf(ARCS, 0, 1); w < 0.83 || w > 0.84 {
+		t.Errorf("ARCS(0,1) = %v, want ~0.833", w)
+	}
+}
+
+func TestMetaBlockingWEPDropsWeakEdges(t *testing.T) {
+	blocks := []Block{
+		{Members: []int{0, 1}},
+		{Members: []int{0, 1}},
+		{Members: []int{2, 3}},
+	}
+	kept := MetaBlocking{Weight: CBS, Prune: WEP}.Refine(blocks, 4)
+	// Weights: (0,1)=2, (2,3)=1; mean 1.5 -> only (0,1) survives.
+	if len(kept) != 1 || kept[0].A != 0 || kept[0].B != 1 {
+		t.Errorf("WEP kept %v", kept)
+	}
+}
+
+func TestMetaBlockingEmpty(t *testing.T) {
+	if got := (MetaBlocking{}).Refine(nil, 5); len(got) != 0 {
+		t.Errorf("empty refine = %v", got)
+	}
+	r, p := EvaluatePairs(nil, 5, [][2]int{{0, 1}})
+	if r != 0 || p != 0 {
+		t.Errorf("empty evaluate = %v, %v", r, p)
+	}
+}
+
+func TestSchemeNames(t *testing.T) {
+	for _, s := range []WeightScheme{CBS, JS, ARCS} {
+		if s.String() == "" {
+			t.Error("unnamed weight scheme")
+		}
+	}
+	if WEP.String() != "WEP" || WNP.String() != "WNP" {
+		t.Error("prune scheme names wrong")
+	}
+}

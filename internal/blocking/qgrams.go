@@ -1,0 +1,130 @@
+package blocking
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/record"
+)
+
+// QGrams is QGBl: every value is decomposed into its character q-grams and
+// each (attribute, q-gram) becomes a block key (Gravano et al. 2001).
+type QGrams struct {
+	// Q is the gram length; survey default 3 (trigrams).
+	Q int
+}
+
+// Name implements Blocker.
+func (QGrams) Name() string { return "QGBl" }
+
+// Block implements Blocker.
+func (g QGrams) Block(coll *record.Collection) []Block {
+	q := g.Q
+	if q < 1 {
+		q = 3
+	}
+	idx := newKeyIndex()
+	for i, r := range coll.Records {
+		for _, it := range r.Items {
+			for _, gram := range grams(it.Value, q) {
+				idx.add(it.Type.Prefix()+":"+gram, i)
+			}
+		}
+	}
+	return purge(idx.blocks(), coll.Len())
+}
+
+// grams returns the distinct lowercase q-grams of a value; values shorter
+// than q yield themselves.
+func grams(v string, q int) []string {
+	rs := []rune(strings.ToLower(v))
+	if len(rs) <= q {
+		return []string{string(rs)}
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for i := 0; i+q <= len(rs); i++ {
+		g := string(rs[i : i+q])
+		if !seen[g] {
+			seen[g] = true
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// ExtendedQGrams is EQGBl: q-grams are concatenated into more
+// discriminative keys — for a value with k grams, every combination of at
+// least ceil(k*T) grams becomes a key (Christen 2012).
+type ExtendedQGrams struct {
+	// Q is the gram length (default 3).
+	Q int
+	// T is the combination threshold in (0,1]; survey default 0.8.
+	T float64
+	// MaxGrams caps the grams considered per value to bound the
+	// combinatorial expansion (default 6).
+	MaxGrams int
+}
+
+// Name implements Blocker.
+func (ExtendedQGrams) Name() string { return "EQGBl" }
+
+// Block implements Blocker.
+func (g ExtendedQGrams) Block(coll *record.Collection) []Block {
+	q := g.Q
+	if q < 1 {
+		q = 3
+	}
+	t := g.T
+	if t <= 0 || t > 1 {
+		t = 0.8
+	}
+	maxGrams := g.MaxGrams
+	if maxGrams < 1 {
+		maxGrams = 6
+	}
+	idx := newKeyIndex()
+	for i, r := range coll.Records {
+		for _, it := range r.Items {
+			gs := grams(it.Value, q)
+			if len(gs) > maxGrams {
+				gs = gs[:maxGrams]
+			}
+			minLen := int(float64(len(gs))*t + 0.9999)
+			if minLen < 1 {
+				minLen = 1
+			}
+			for _, combo := range combinations(gs, minLen) {
+				idx.add(it.Type.Prefix()+":"+combo, i)
+			}
+		}
+	}
+	return purge(idx.blocks(), coll.Len())
+}
+
+// combinations returns the concatenations of every subset of gs with size
+// >= minLen, each subset in original order.
+func combinations(gs []string, minLen int) []string {
+	var out []string
+	total := 1 << uint(len(gs))
+	for mask := 1; mask < total; mask++ {
+		n := 0
+		for i := range gs {
+			if mask&(1<<uint(i)) != 0 {
+				n++
+			}
+		}
+		if n < minLen {
+			continue
+		}
+		var b strings.Builder
+		for i, g := range gs {
+			if mask&(1<<uint(i)) != 0 {
+				b.WriteString(g)
+			}
+		}
+		out = append(out, b.String())
+	}
+	sort.Strings(out)
+	return out
+}

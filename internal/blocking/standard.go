@@ -1,0 +1,135 @@
+package blocking
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/record"
+	"repro/internal/similarity"
+)
+
+// Standard is StBl: one block per attribute value shared by more than one
+// record (Christen 2012; Papadakis et al. 2013).
+type Standard struct{}
+
+// Name implements Blocker.
+func (Standard) Name() string { return "StBl" }
+
+// Block implements Blocker.
+func (Standard) Block(coll *record.Collection) []Block {
+	idx := newKeyIndex()
+	for i, r := range coll.Records {
+		for _, it := range r.Items {
+			idx.add(it.Key(), i)
+		}
+	}
+	return purge(idx.blocks(), coll.Len())
+}
+
+// AttributeClustering is ACl: Standard Blocking after clustering similar
+// attribute values (e.g. John/Jhon) into one key (Papadakis et al. 2013).
+type AttributeClustering struct {
+	// Threshold is the Jaro-Winkler similarity above which two values of
+	// the same attribute share a cluster. The survey default is 0.9.
+	Threshold float64
+}
+
+// Name implements Blocker.
+func (AttributeClustering) Name() string { return "ACl" }
+
+// Block implements Blocker.
+func (a AttributeClustering) Block(coll *record.Collection) []Block {
+	th := a.Threshold
+	if th == 0 {
+		th = 0.9
+	}
+	// Cluster distinct values per item type by greedy leader clustering:
+	// each value joins the first cluster whose representative is within
+	// the threshold.
+	valueCluster := make(map[string]string) // item key -> cluster key
+	perType := make(map[record.ItemType][]string)
+	seen := make(map[string]bool)
+	for _, r := range coll.Records {
+		for _, it := range r.Items {
+			k := it.Key()
+			if !seen[k] {
+				seen[k] = true
+				perType[it.Type] = append(perType[it.Type], it.Value)
+			}
+		}
+	}
+	for t, values := range perType {
+		sort.Strings(values)
+		var reps []string
+		for _, v := range values {
+			lv := strings.ToLower(v)
+			assigned := ""
+			for _, rep := range reps {
+				if similarity.JaroWinkler(lv, strings.ToLower(rep)) >= th {
+					assigned = rep
+					break
+				}
+			}
+			if assigned == "" {
+				reps = append(reps, v)
+				assigned = v
+			}
+			valueCluster[t.Prefix()+":"+v] = fmt.Sprintf("%s:c(%s)", t.Prefix(), assigned)
+		}
+	}
+	idx := newKeyIndex()
+	for i, r := range coll.Records {
+		for _, it := range r.Items {
+			idx.add(valueCluster[it.Key()], i)
+		}
+	}
+	return purge(idx.blocks(), coll.Len())
+}
+
+// ExtendedSortedNeighborhood is ESoNe: attribute values are sorted
+// alphabetically and a fixed-size window slides over the sorted value
+// list; every window yields a block of the records holding any value in it
+// (Christen 2012).
+type ExtendedSortedNeighborhood struct {
+	// Window is the number of consecutive values per block; survey
+	// default 3.
+	Window int
+}
+
+// Name implements Blocker.
+func (ExtendedSortedNeighborhood) Name() string { return "ESoNe" }
+
+// Block implements Blocker.
+func (e ExtendedSortedNeighborhood) Block(coll *record.Collection) []Block {
+	w := e.Window
+	if w < 2 {
+		w = 3
+	}
+	// Global sorted list of distinct item keys (value-first so sorting is
+	// alphabetical by value, not by attribute).
+	holders := make(map[string][]int)
+	var keys []string
+	for i, r := range coll.Records {
+		for _, it := range r.Items {
+			k := strings.ToLower(it.Value) + "\x00" + it.Key()
+			if _, ok := holders[k]; !ok {
+				keys = append(keys, k)
+			}
+			holders[k] = append(holders[k], i)
+		}
+	}
+	sort.Strings(keys)
+	var blocks []Block
+	for start := 0; start+w <= len(keys); start++ {
+		var members []int
+		for _, k := range keys[start : start+w] {
+			members = append(members, holders[k]...)
+		}
+		blocks = append(blocks, Block{
+			Key:     fmt.Sprintf("win@%d", start),
+			Members: dedupInts(members),
+		})
+	}
+	return purge(blocks, coll.Len())
+}

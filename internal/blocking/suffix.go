@@ -1,0 +1,127 @@
+package blocking
+
+import (
+	"strings"
+
+	"repro/internal/record"
+)
+
+// SuffixArrays is SuAr: every value contributes its suffixes of length at
+// least MinLength as block keys, improving robustness to prefix noise
+// (Aizawa & Oyama 2005).
+type SuffixArrays struct {
+	// MinLength is the minimal suffix length; survey default 6.
+	MinLength int
+	// MaxBlockSize discards overly common suffixes; survey default 53.
+	MaxBlockSize int
+}
+
+// Name implements Blocker.
+func (SuffixArrays) Name() string { return "SuAr" }
+
+// Block implements Blocker.
+func (s SuffixArrays) Block(coll *record.Collection) []Block {
+	minLen, maxBlock := s.defaults()
+	idx := newKeyIndex()
+	for i, r := range coll.Records {
+		for _, it := range r.Items {
+			for _, suf := range suffixes(it.Value, minLen) {
+				idx.add(it.Type.Prefix()+":"+suf, i)
+			}
+		}
+	}
+	return purgeSized(idx.blocks(), coll.Len(), maxBlock)
+}
+
+func (s SuffixArrays) defaults() (minLen, maxBlock int) {
+	minLen = s.MinLength
+	if minLen < 1 {
+		minLen = 6
+	}
+	maxBlock = s.MaxBlockSize
+	if maxBlock < 2 {
+		maxBlock = 53
+	}
+	return minLen, maxBlock
+}
+
+// suffixes returns the lowercase suffixes of v with length >= minLen;
+// shorter values yield the whole value.
+func suffixes(v string, minLen int) []string {
+	rs := []rune(strings.ToLower(v))
+	if len(rs) <= minLen {
+		return []string{string(rs)}
+	}
+	var out []string
+	for i := 0; i+minLen <= len(rs); i++ {
+		out = append(out, string(rs[i:]))
+	}
+	return out
+}
+
+// ExtendedSuffixArrays is ESuAr: all substrings (not only suffixes) of
+// length at least MinLength become keys (Christen 2012).
+type ExtendedSuffixArrays struct {
+	// MinLength is the minimal substring length; survey default 6.
+	MinLength int
+	// MaxBlockSize discards overly common substrings; survey default 39.
+	MaxBlockSize int
+}
+
+// Name implements Blocker.
+func (ExtendedSuffixArrays) Name() string { return "ESuAr" }
+
+// Block implements Blocker.
+func (s ExtendedSuffixArrays) Block(coll *record.Collection) []Block {
+	minLen := s.MinLength
+	if minLen < 1 {
+		minLen = 6
+	}
+	maxBlock := s.MaxBlockSize
+	if maxBlock < 2 {
+		maxBlock = 39
+	}
+	idx := newKeyIndex()
+	for i, r := range coll.Records {
+		for _, it := range r.Items {
+			for _, sub := range substrings(it.Value, minLen) {
+				idx.add(it.Type.Prefix()+":"+sub, i)
+			}
+		}
+	}
+	return purgeSized(idx.blocks(), coll.Len(), maxBlock)
+}
+
+// substrings returns the distinct lowercase substrings of v with length at
+// least minLen; shorter values yield the whole value.
+func substrings(v string, minLen int) []string {
+	rs := []rune(strings.ToLower(v))
+	if len(rs) <= minLen {
+		return []string{string(rs)}
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for i := 0; i < len(rs); i++ {
+		for j := i + minLen; j <= len(rs); j++ {
+			sub := string(rs[i:j])
+			if !seen[sub] {
+				seen[sub] = true
+				out = append(out, sub)
+			}
+		}
+	}
+	return out
+}
+
+// purgeSized applies the shared purge plus a technique-specific absolute
+// block size cap.
+func purgeSized(blocks []Block, n, maxBlock int) []Block {
+	blocks = purge(blocks, n)
+	out := blocks[:0]
+	for _, b := range blocks {
+		if len(b.Members) <= maxBlock {
+			out = append(out, b)
+		}
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+// Package core is the uncertain entity resolution pipeline of the paper:
+// preprocessing (name and place equivalence classes), MFIBlocks soft
+// blocking, pair feature extraction, ADTree scoring, and — the heart of
+// the uncertain-ER model — a *ranked* resolution that is disambiguated
+// only at query time, by a certainty threshold and a granularity choice
+// (person vs. family), instead of a single crisp clustering.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/adtree"
+	"repro/internal/features"
+	"repro/internal/gazetteer"
+	"repro/internal/mfiblocks"
+	"repro/internal/record"
+	"repro/internal/similarity"
+)
+
+// Options configures a pipeline run.
+type Options struct {
+	// Blocking parameterizes the MFIBlocks stage.
+	Blocking mfiblocks.Config
+	// Geo resolves place distances for feature extraction (and for
+	// ExpertSim blocking if enabled there).
+	Geo similarity.GeoDistancer
+	// Preprocess folds name and place spelling variants into their
+	// equivalence classes before blocking, as the Names Project
+	// preprocessing did.
+	Preprocess bool
+	// Gazetteer, when set, canonicalizes place names during
+	// preprocessing; nil falls back to the built-in catalogue.
+	Gazetteer *gazetteer.Gazetteer
+	// SameSrc discards candidate pairs that share a source (the same
+	// victim list or the same testimony submitter): the same person is
+	// unlikely to appear twice in one source.
+	SameSrc bool
+	// Model scores candidate pairs; nil leaves matches ranked by block
+	// score only.
+	Model *adtree.Model
+	// Classify drops pairs the model scores at or below zero (the Cls
+	// condition). Requires Model.
+	Classify bool
+}
+
+// NewOptions returns the deployment defaults: preprocessing on, default
+// blocking, SameSrc and classification enabled once a model is supplied.
+func NewOptions(geo similarity.GeoDistancer) Options {
+	return Options{
+		Blocking:   mfiblocks.NewConfig(),
+		Geo:        geo,
+		Preprocess: true,
+		SameSrc:    true,
+		Classify:   true,
+	}
+}
+
+// RankedMatch is one candidate pair with its similarity evidence.
+type RankedMatch struct {
+	Pair record.Pair
+	// BlockScore is the best MFIBlocks block score containing the pair.
+	BlockScore float64
+	// Score is the ADTree confidence when a model is set, otherwise the
+	// block score. Matches are ranked by it.
+	Score float64
+}
+
+// Resolution is the uncertain-ER outcome: a ranked list of possible
+// matches, resolved into entities only on demand.
+type Resolution struct {
+	// Matches are ranked by descending Score.
+	Matches []RankedMatch
+	// Blocking is the raw MFIBlocks result.
+	Blocking *mfiblocks.Result
+	// Collection is the (possibly preprocessed) collection resolved.
+	Collection *record.Collection
+	// DiscardedSameSrc counts candidates dropped by the SameSrc filter.
+	DiscardedSameSrc int
+	// DiscardedByModel counts candidates dropped by classification.
+	DiscardedByModel int
+}
+
+// Run executes the pipeline.
+func Run(opts Options, coll *record.Collection) (*Resolution, error) {
+	work := coll
+	if opts.Preprocess {
+		gaz := opts.Gazetteer
+		if gaz == nil {
+			gaz = gazetteer.Builtin(0)
+		}
+		var err error
+		work, err = PreprocessWith(coll, gaz)
+		if err != nil {
+			return nil, fmt.Errorf("core: preprocess: %w", err)
+		}
+	}
+	if opts.Classify && opts.Model == nil {
+		return nil, fmt.Errorf("core: Classify requires a Model")
+	}
+
+	blk, err := mfiblocks.Run(opts.Blocking, work)
+	if err != nil {
+		return nil, fmt.Errorf("core: blocking: %w", err)
+	}
+
+	res := &Resolution{Blocking: blk, Collection: work}
+	ex := features.NewExtractor(opts.Geo)
+	for _, p := range blk.Pairs {
+		ra, rb := work.ByID(p.A), work.ByID(p.B)
+		if opts.SameSrc && ra.Source != "" && ra.Source == rb.Source {
+			res.DiscardedSameSrc++
+			continue
+		}
+		m := RankedMatch{Pair: p, BlockScore: blk.PairScores[p]}
+		m.Score = m.BlockScore
+		if opts.Model != nil {
+			m.Score = opts.Model.Score(ex.Extract(ra, rb))
+			if opts.Classify && m.Score <= 0 {
+				res.DiscardedByModel++
+				continue
+			}
+		}
+		res.Matches = append(res.Matches, m)
+	}
+	sort.Slice(res.Matches, func(i, j int) bool {
+		if res.Matches[i].Score != res.Matches[j].Score {
+			return res.Matches[i].Score > res.Matches[j].Score
+		}
+		a, b := res.Matches[i].Pair, res.Matches[j].Pair
+		if a.A != b.A {
+			return a.A < b.A
+		}
+		return a.B < b.B
+	})
+	return res, nil
+}
+
+// AtCertainty returns the matches with Score >= theta — the query-time
+// certainty slider of the uncertain-ER model.
+func (r *Resolution) AtCertainty(theta float64) []RankedMatch {
+	// Matches are sorted descending; binary search for the cut.
+	lo := sort.Search(len(r.Matches), func(i int) bool {
+		return r.Matches[i].Score < theta
+	})
+	return r.Matches[:lo]
+}
+
+// Pairs returns the ranked matches' pairs in rank order.
+func (r *Resolution) Pairs() []record.Pair {
+	out := make([]record.Pair, len(r.Matches))
+	for i, m := range r.Matches {
+		out[i] = m.Pair
+	}
+	return out
+}

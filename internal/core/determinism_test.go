@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mfiblocks"
+)
+
+// TestPipelineDeterministic asserts the full pipeline is reproducible:
+// two runs over the same collection yield identical ranked matches.
+func TestPipelineDeterministic(t *testing.T) {
+	fx := newFixture(t, 250)
+	opts := Options{Blocking: mfiblocks.NewConfig(), Geo: fx.gen.Gaz, Preprocess: true, Gazetteer: fx.gen.Gaz}
+
+	r1, err := Run(opts, fx.gen.Collection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(opts, fx.gen.Collection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Matches) != len(r2.Matches) {
+		t.Fatalf("match counts differ: %d vs %d", len(r1.Matches), len(r2.Matches))
+	}
+	for i := range r1.Matches {
+		if r1.Matches[i] != r2.Matches[i] {
+			t.Fatalf("match %d differs: %+v vs %+v", i, r1.Matches[i], r2.Matches[i])
+		}
+	}
+	// And the derived views agree.
+	e1, e2 := r1.Clusters(0.3), r2.Clusters(0.3)
+	if len(e1) != len(e2) {
+		t.Fatalf("cluster counts differ: %d vs %d", len(e1), len(e2))
+	}
+	for i := range e1 {
+		if len(e1[i].Reports) != len(e2[i].Reports) {
+			t.Fatalf("cluster %d sizes differ", i)
+		}
+		for j := range e1[i].Reports {
+			if e1[i].Reports[j] != e2[i].Reports[j] {
+				t.Fatalf("cluster %d member %d differs", i, j)
+			}
+		}
+	}
+}
+
+// TestRankedOrderMatchesScores asserts the ranked list is sorted.
+func TestRankedOrderMatchesScores(t *testing.T) {
+	fx := newFixture(t, 250)
+	opts := Options{Blocking: mfiblocks.NewConfig(), Geo: fx.gen.Gaz, Preprocess: true, Gazetteer: fx.gen.Gaz}
+	res, err := Run(opts, fx.gen.Collection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Matches); i++ {
+		if res.Matches[i].Score > res.Matches[i-1].Score {
+			t.Fatalf("ranking violated at %d: %v after %v", i, res.Matches[i].Score, res.Matches[i-1].Score)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/record"
+)
+
+// Entity is a resolved person: the set of reports attributed to one
+// individual at the chosen certainty, with a merged attribute view.
+type Entity struct {
+	// Reports are the member BookIDs, ascending.
+	Reports []int64
+	// Values merges the members' items: every distinct value observed per
+	// item type, with the number of supporting reports.
+	Values map[record.ItemType][]ValueSupport
+}
+
+// ValueSupport is one observed value and how many member reports carry it.
+type ValueSupport struct {
+	Value   string
+	Reports int
+}
+
+// Best returns the entity's most supported value of an item type.
+func (e *Entity) Best(t record.ItemType) (string, bool) {
+	vs := e.Values[t]
+	if len(vs) == 0 {
+		return "", false
+	}
+	return vs[0].Value, true
+}
+
+// Clusters resolves the matches at the given certainty into entities:
+// connected components over the accepted pairs, with singletons for
+// unmatched records. This is the query-time crisp view of the uncertain
+// resolution.
+func (r *Resolution) Clusters(theta float64) []*Entity {
+	accepted := r.AtCertainty(theta)
+	uf := newUnionFind()
+	for _, rec := range r.Collection.Records {
+		uf.find(rec.BookID)
+	}
+	for _, m := range accepted {
+		uf.union(m.Pair.A, m.Pair.B)
+	}
+	groups := make(map[int64][]int64)
+	for _, rec := range r.Collection.Records {
+		root := uf.find(rec.BookID)
+		groups[root] = append(groups[root], rec.BookID)
+	}
+	roots := make([]int64, 0, len(groups))
+	for root := range groups {
+		roots = append(roots, root)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+
+	entities := make([]*Entity, 0, len(groups))
+	for _, root := range roots {
+		ids := groups[root]
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		entities = append(entities, r.buildEntity(ids))
+	}
+	return entities
+}
+
+// EntityOf returns the resolved entity containing the given report at the
+// given certainty.
+func (r *Resolution) EntityOf(bookID int64, theta float64) (*Entity, bool) {
+	for _, e := range r.Clusters(theta) {
+		for _, id := range e.Reports {
+			if id == bookID {
+				return e, true
+			}
+		}
+	}
+	return nil, false
+}
+
+func (r *Resolution) buildEntity(ids []int64) *Entity {
+	e := &Entity{Reports: ids, Values: make(map[record.ItemType][]ValueSupport)}
+	counts := make(map[record.ItemType]map[string]int)
+	for _, id := range ids {
+		rec := r.Collection.ByID(id)
+		if rec == nil {
+			continue
+		}
+		seen := make(map[string]bool)
+		for _, it := range rec.Items {
+			key := it.Key()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			if counts[it.Type] == nil {
+				counts[it.Type] = make(map[string]int)
+			}
+			counts[it.Type][it.Value]++
+		}
+	}
+	for t, vs := range counts {
+		for v, c := range vs {
+			e.Values[t] = append(e.Values[t], ValueSupport{Value: v, Reports: c})
+		}
+		sort.Slice(e.Values[t], func(i, j int) bool {
+			if e.Values[t][i].Reports != e.Values[t][j].Reports {
+				return e.Values[t][i].Reports > e.Values[t][j].Reports
+			}
+			return e.Values[t][i].Value < e.Values[t][j].Value
+		})
+	}
+	return e
+}
+
+// Narrative renders a short biographical narrative from the entity's
+// merged view — the paper's motivating application: weaving victim
+// reports into a person's story.
+func (e *Entity) Narrative() string {
+	var b strings.Builder
+	first, _ := e.Best(record.FirstName)
+	last, _ := e.Best(record.LastName)
+	name := strings.TrimSpace(first + " " + last)
+	if name == "" {
+		name = "An unidentified person"
+	}
+	b.WriteString(name)
+
+	if year, ok := e.Best(record.BirthYear); ok {
+		if city, okCity := e.Best(record.BirthCity); okCity {
+			fmt.Fprintf(&b, " was born in %s in %s", year, city)
+		} else {
+			fmt.Fprintf(&b, " was born in %s", year)
+		}
+	}
+	if father, ok := e.Best(record.FatherName); ok {
+		fmt.Fprintf(&b, ", child of %s", father)
+		if mother, okM := e.Best(record.MotherName); okM {
+			fmt.Fprintf(&b, " and %s", mother)
+		}
+	}
+	if spouse, ok := e.Best(record.SpouseName); ok {
+		fmt.Fprintf(&b, ", married to %s", spouse)
+	}
+	if perm, ok := e.Best(record.PermCity); ok {
+		fmt.Fprintf(&b, ". They lived in %s", perm)
+	}
+	if war, ok := e.Best(record.WarCity); ok {
+		fmt.Fprintf(&b, "; during the war they were in %s", war)
+	}
+	if death, ok := e.Best(record.DeathCity); ok {
+		fmt.Fprintf(&b, ". They perished in %s", death)
+	}
+	fmt.Fprintf(&b, ". The story is told by %d report(s).", len(e.Reports))
+	return b.String()
+}
+
+// unionFind is a path-compressing union-find over BookIDs.
+type unionFind struct {
+	parent map[int64]int64
+}
+
+func newUnionFind() *unionFind {
+	return &unionFind{parent: make(map[int64]int64)}
+}
+
+func (u *unionFind) find(x int64) int64 {
+	p, ok := u.parent[x]
+	if !ok {
+		u.parent[x] = x
+		return x
+	}
+	if p != x {
+		u.parent[x] = u.find(p)
+	}
+	return u.parent[x]
+}
+
+func (u *unionFind) union(a, b int64) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		u.parent[rb] = ra
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/record"
+)
+
+// KnowledgeGraph is the Figure-2 artifact: the entity and its immediate
+// world — relatives, places, dates — as labeled nodes and edges, assembled
+// from all reports attributed to the entity.
+type KnowledgeGraph struct {
+	// Center is the entity's display name.
+	Center string
+	// Nodes are all node labels, Center first.
+	Nodes []string
+	// Edges are labeled, directed facts (from, label, to).
+	Edges []GraphEdge
+}
+
+// GraphEdge is one labeled fact in the knowledge graph.
+type GraphEdge struct {
+	From, Label, To string
+}
+
+// graphRelations maps item types to edge labels for relational and
+// locational facts.
+var graphRelations = []struct {
+	t     record.ItemType
+	label string
+}{
+	{record.FatherName, "father"},
+	{record.MotherName, "mother"},
+	{record.SpouseName, "spouse"},
+	{record.MaidenName, "maiden name"},
+	{record.BirthYear, "born"},
+	{record.BirthCity, "born in"},
+	{record.PermCity, "lived in"},
+	{record.WarCity, "was during the war in"},
+	{record.DeathCity, "perished in"},
+	{record.Profession, "worked as"},
+}
+
+// Graph builds the entity's knowledge graph. Every distinct observed
+// value becomes a node, so conflicting evidence appears as parallel edges
+// — the uncertain model's view of the entity.
+func (e *Entity) Graph() *KnowledgeGraph {
+	first, _ := e.Best(record.FirstName)
+	last, _ := e.Best(record.LastName)
+	center := strings.TrimSpace(first + " " + last)
+	if center == "" {
+		center = fmt.Sprintf("entity(%v)", e.Reports)
+	}
+	g := &KnowledgeGraph{Center: center, Nodes: []string{center}}
+	seen := map[string]bool{center: true}
+
+	for _, rel := range graphRelations {
+		for _, vs := range e.Values[rel.t] {
+			node := vs.Value
+			if !seen[node] {
+				seen[node] = true
+				g.Nodes = append(g.Nodes, node)
+			}
+			g.Edges = append(g.Edges, GraphEdge{From: center, Label: rel.label, To: node})
+		}
+	}
+	// Provenance: each report is a node pointing at the center.
+	for _, id := range e.Reports {
+		node := fmt.Sprintf("report %d", id)
+		g.Nodes = append(g.Nodes, node)
+		g.Edges = append(g.Edges, GraphEdge{From: node, Label: "describes", To: center})
+	}
+	sort.SliceStable(g.Edges, func(i, j int) bool {
+		if g.Edges[i].Label != g.Edges[j].Label {
+			return g.Edges[i].Label < g.Edges[j].Label
+		}
+		return g.Edges[i].To < g.Edges[j].To
+	})
+	return g
+}
+
+// DOT renders the graph in Graphviz format.
+func (g *KnowledgeGraph) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph entity {\n")
+	fmt.Fprintf(&b, "  %q [shape=box];\n", g.Center)
+	for _, e := range g.Edges {
+		fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", e.From, e.To, e.Label)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// String renders the graph as indented facts.
+func (g *KnowledgeGraph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", g.Center)
+	for _, e := range g.Edges {
+		if e.From == g.Center {
+			fmt.Fprintf(&b, "  —%s→ %s\n", e.Label, e.To)
+		}
+	}
+	for _, e := range g.Edges {
+		if e.To == g.Center {
+			fmt.Fprintf(&b, "  ←%s— %s\n", e.Label, e.From)
+		}
+	}
+	return b.String()
+}

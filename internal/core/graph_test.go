@@ -1,0 +1,95 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/record"
+)
+
+func entityFixture() *Entity {
+	return &Entity{
+		Reports: []int64{1016196, 1059654},
+		Values: map[record.ItemType][]ValueSupport{
+			record.FirstName:  {{Value: "Guido", Reports: 2}},
+			record.LastName:   {{Value: "Foa", Reports: 2}, {Value: "Foy", Reports: 1}},
+			record.FatherName: {{Value: "Donato", Reports: 2}},
+			record.SpouseName: {{Value: "Olga", Reports: 1}, {Value: "Estela", Reports: 1}},
+			record.BirthYear:  {{Value: "1920", Reports: 2}},
+			record.DeathCity:  {{Value: "Auschwitz", Reports: 1}},
+		},
+	}
+}
+
+func TestGraphStructure(t *testing.T) {
+	g := entityFixture().Graph()
+	if g.Center != "Guido Foa" {
+		t.Errorf("center = %q", g.Center)
+	}
+	var fatherEdges, spouseEdges, provenance int
+	for _, e := range g.Edges {
+		switch e.Label {
+		case "father":
+			fatherEdges++
+			if e.To != "Donato" {
+				t.Errorf("father edge to %q", e.To)
+			}
+		case "spouse":
+			spouseEdges++
+		case "describes":
+			provenance++
+			if e.To != g.Center {
+				t.Errorf("provenance edge to %q", e.To)
+			}
+		}
+	}
+	if fatherEdges != 1 {
+		t.Errorf("father edges = %d", fatherEdges)
+	}
+	// Conflicting spouse evidence appears as parallel edges.
+	if spouseEdges != 2 {
+		t.Errorf("spouse edges = %d, want 2 (Olga and Estela)", spouseEdges)
+	}
+	if provenance != 2 {
+		t.Errorf("provenance edges = %d", provenance)
+	}
+	// All edge endpoints are nodes.
+	nodes := map[string]bool{}
+	for _, n := range g.Nodes {
+		nodes[n] = true
+	}
+	for _, e := range g.Edges {
+		if !nodes[e.From] || !nodes[e.To] {
+			t.Errorf("edge %+v references unknown node", e)
+		}
+	}
+}
+
+func TestGraphDOT(t *testing.T) {
+	dot := entityFixture().Graph().DOT()
+	for _, want := range []string{"digraph entity", `"Guido Foa"`, `label="father"`, "Auschwitz"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestGraphStringMentionsFacts(t *testing.T) {
+	s := entityFixture().Graph().String()
+	for _, want := range []string{"Guido Foa", "Donato", "report 1016196"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestGraphEmptyEntity(t *testing.T) {
+	e := &Entity{Reports: []int64{5}, Values: map[record.ItemType][]ValueSupport{}}
+	g := e.Graph()
+	if g.Center == "" {
+		t.Error("empty entity needs a fallback center")
+	}
+	if len(g.Edges) != 1 { // just the provenance edge
+		t.Errorf("edges = %v", g.Edges)
+	}
+}

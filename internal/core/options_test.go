@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/adtree"
+	"repro/internal/dataset"
+	"repro/internal/mfiblocks"
+	"repro/internal/record"
+)
+
+func TestNewOptionsDefaults(t *testing.T) {
+	fx := newFixture(t, 100)
+	opts := NewOptions(fx.gen.Gaz)
+	if !opts.Preprocess || !opts.SameSrc || !opts.Classify {
+		t.Errorf("defaults wrong: %+v", opts)
+	}
+	if opts.Blocking.MaxMinSup != mfiblocks.NewConfig().MaxMinSup {
+		t.Error("blocking defaults not applied")
+	}
+	// Classify defaults on but needs a model; supply one and run.
+	model, err := TrainModel(adtree.NewTrainConfig(), fx.tags, fx.gen.Collection, fx.gen.Gaz, MaybeAsNo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Model = model
+	opts.Gazetteer = fx.gen.Gaz
+	if _, err := Run(opts, fx.gen.Collection); err != nil {
+		t.Fatalf("Run with defaults: %v", err)
+	}
+}
+
+func TestEntityOf(t *testing.T) {
+	fx := newFixture(t, 150)
+	opts := Options{Blocking: mfiblocks.NewConfig(), Geo: fx.gen.Gaz, Preprocess: true, Gazetteer: fx.gen.Gaz}
+	res, err := Run(opts, fx.gen.Collection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := fx.gen.Collection.Records[0].BookID
+	e, ok := res.EntityOf(id, 0.3)
+	if !ok {
+		t.Fatalf("record %d not in any entity", id)
+	}
+	found := false
+	for _, rid := range e.Reports {
+		if rid == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("EntityOf returned an entity not containing the record")
+	}
+	if _, ok := res.EntityOf(-1, 0.3); ok {
+		t.Error("unknown record resolved to an entity")
+	}
+}
+
+func TestInstancesUnknownRecord(t *testing.T) {
+	fx := newFixture(t, 100)
+	bad := dataset.NewTagSet([]dataset.TaggedPair{
+		{Pair: record.MakePair(1, 2), Tag: dataset.Yes},
+	})
+	if _, _, err := Instances(bad, fx.gen.Collection, fx.gen.Gaz, MaybeAsNo); err == nil {
+		t.Error("tagged pair with unknown records accepted")
+	}
+}

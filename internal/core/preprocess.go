@@ -1,0 +1,43 @@
+package core
+
+import (
+	"repro/internal/gazetteer"
+	"repro/internal/names"
+	"repro/internal/record"
+)
+
+// Preprocess folds value variants into equivalence classes, mirroring the
+// Names Project preprocessing ("equivalence classes of first names, last
+// names and places ... were created to help deal with multiple spellings
+// and variants"): first-name-like values map to their nickname-class
+// canonical; place city values map to their gazetteer canonical. Typos
+// survive — preprocessing resolves registered variants, not arbitrary
+// clerical errors. The input collection is not modified.
+func Preprocess(coll *record.Collection) (*record.Collection, error) {
+	return PreprocessWith(coll, gazetteer.Builtin(0))
+}
+
+// PreprocessWith is Preprocess with an explicit gazetteer for place
+// canonicalization. A nil gazetteer skips place folding.
+func PreprocessWith(coll *record.Collection, gaz *gazetteer.Gazetteer) (*record.Collection, error) {
+	out := make([]*record.Record, coll.Len())
+	for i, r := range coll.Records {
+		cp := r.Clone()
+		for k := range cp.Items {
+			it := &cp.Items[k]
+			switch {
+			case it.Type.IsName() && it.Type != record.LastName &&
+				it.Type != record.MaidenName && it.Type != record.MotherMaiden:
+				it.Value = names.Canonical(it.Value)
+			case it.Type.IsPlace():
+				if _, part, _ := it.Type.Place(); part == record.City && gaz != nil {
+					if p, ok := gaz.Lookup(it.Value); ok {
+						it.Value = p.City
+					}
+				}
+			}
+		}
+		out[i] = cp
+	}
+	return record.NewCollection(out)
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"strings"
+
+	"repro/internal/names"
+	"repro/internal/record"
+)
+
+// Query is a relative-search request, the paper's motivating Web use case:
+// a person searching for perished relatives controls the size of the
+// response by tuning the certainty parameter.
+type Query struct {
+	// First matches any of an entity's first names, through the name
+	// equivalence classes (searching "Isak" finds "Yitzhak"). Empty
+	// matches everything.
+	First string
+	// Last matches any of an entity's last names case-insensitively.
+	// Empty matches everything.
+	Last string
+	// Certainty is the resolution threshold: lower values merge more
+	// reports per entity (fewer, richer results), higher values split
+	// them (more, smaller results).
+	Certainty float64
+}
+
+// Search resolves the collection at the query's certainty and returns the
+// entities matching the name query, ordered as produced by Clusters.
+// Without a deterministic query (e.g. the example record is missed), a
+// record's information may surface under more than one spelling; the
+// equivalence classes absorb the registered variants — the paper's point
+// that a simple "first name = Guido AND last name = Foa" query misses the
+// "Foy" record.
+func (r *Resolution) Search(q Query) []*Entity {
+	var out []*Entity
+	for _, e := range r.Clusters(q.Certainty) {
+		if entityMatches(e, q) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func entityMatches(e *Entity, q Query) bool {
+	if q.First != "" && !anyNameMatches(e.Values[record.FirstName], q.First, true) {
+		return false
+	}
+	if q.Last != "" && !anyNameMatches(e.Values[record.LastName], q.Last, false) {
+		return false
+	}
+	return true
+}
+
+func anyNameMatches(vs []ValueSupport, query string, useClasses bool) bool {
+	for _, v := range vs {
+		if strings.EqualFold(v.Value, query) {
+			return true
+		}
+		if useClasses && names.SameClass(v.Value, query) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mfiblocks"
+	"repro/internal/record"
+)
+
+func searchFixture(t *testing.T) *Resolution {
+	t.Helper()
+	fx := newFixture(t, 400)
+	opts := Options{Blocking: mfiblocks.NewConfig(), Geo: fx.gen.Gaz, Preprocess: true, Gazetteer: fx.gen.Gaz}
+	res, err := Run(opts, fx.gen.Collection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSearchByName(t *testing.T) {
+	res := searchFixture(t)
+	// Pick a real entity's names to query for.
+	var first, last string
+	for _, e := range res.Clusters(0.3) {
+		f, okF := e.Best(record.FirstName)
+		l, okL := e.Best(record.LastName)
+		if okF && okL && len(e.Reports) >= 2 {
+			first, last = f, l
+			break
+		}
+	}
+	if first == "" {
+		t.Skip("no multi-report entity with full name")
+	}
+	hits := res.Search(Query{First: first, Last: last, Certainty: 0.3})
+	if len(hits) == 0 {
+		t.Fatalf("Search(%q,%q) found nothing", first, last)
+	}
+	for _, e := range hits {
+		if !anyNameMatches(e.Values[record.FirstName], first, true) {
+			t.Errorf("hit does not match first name %q", first)
+		}
+	}
+}
+
+func TestSearchCertaintyControlsResponse(t *testing.T) {
+	res := searchFixture(t)
+	loose := res.Search(Query{Certainty: -10}) // every match accepted
+	tight := res.Search(Query{Certainty: 10})  // nothing merged
+	// With everything merged there are at most as many entities as with
+	// nothing merged.
+	if len(loose) > len(tight) {
+		t.Errorf("loose certainty returned more entities (%d) than tight (%d)", len(loose), len(tight))
+	}
+	// At maximal certainty every entity is a singleton.
+	for _, e := range tight {
+		if len(e.Reports) != 1 {
+			t.Fatalf("tight search returned merged entity %v", e.Reports)
+		}
+	}
+}
+
+func TestSearchVariantsFold(t *testing.T) {
+	res := searchFixture(t)
+	// Searching for a nickname-class member should find entities recorded
+	// under any variant: count hits for the canonical and for a variant.
+	canon := res.Search(Query{First: "Yitzhak", Certainty: 0.3})
+	variant := res.Search(Query{First: "Isacco", Certainty: 0.3})
+	if len(canon) != len(variant) {
+		t.Errorf("class members disagree: Yitzhak=%d Isacco=%d", len(canon), len(variant))
+	}
+}
+
+func TestSearchEmptyQueryReturnsAll(t *testing.T) {
+	res := searchFixture(t)
+	all := res.Search(Query{Certainty: 0.5})
+	if len(all) != len(res.Clusters(0.5)) {
+		t.Errorf("empty query returned %d of %d entities", len(all), len(res.Clusters(0.5)))
+	}
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/adtree"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/features"
+	"repro/internal/record"
+	"repro/internal/similarity"
+)
+
+// MaybeMode selects how Maybe-tagged pairs enter training (Table 5).
+type MaybeMode uint8
+
+// The three Maybe-handling policies the paper compares.
+const (
+	// MaybeAsNo folds Maybe into the non-match class.
+	MaybeAsNo MaybeMode = iota
+	// OmitMaybe drops Maybe pairs from training and evaluation.
+	OmitMaybe
+	// IdentifyMaybe keeps Maybe as a third class to be recognized at
+	// run time (implemented as a dedicated Maybe-vs-rest ADTree beside
+	// the match model).
+	IdentifyMaybe
+)
+
+func (m MaybeMode) String() string {
+	switch m {
+	case MaybeAsNo:
+		return "Maybe:=No"
+	case OmitMaybe:
+		return "Maybe values omitted"
+	case IdentifyMaybe:
+		return "Identify Maybe values"
+	}
+	return "MaybeMode(?)"
+}
+
+// Instances converts tagged pairs to training instances under the given
+// Maybe policy. For IdentifyMaybe it returns the match instances (Maybe
+// omitted) plus a parallel Maybe-vs-rest instance set.
+func Instances(ts *dataset.TagSet, coll *record.Collection, geo similarity.GeoDistancer, mode MaybeMode) (match, maybe []adtree.Instance, err error) {
+	ex := features.NewExtractor(geo)
+	for _, tp := range ts.Pairs {
+		ra, rb := coll.ByID(tp.Pair.A), coll.ByID(tp.Pair.B)
+		if ra == nil || rb == nil {
+			return nil, nil, fmt.Errorf("core: tagged pair %v references unknown record", tp.Pair)
+		}
+		x := ex.Extract(ra, rb)
+		switch mode {
+		case MaybeAsNo:
+			match = append(match, adtree.Instance{X: x, Match: tp.Tag.IsMatch()})
+		case OmitMaybe:
+			if tp.Tag != dataset.Maybe {
+				match = append(match, adtree.Instance{X: x, Match: tp.Tag.IsMatch()})
+			}
+		case IdentifyMaybe:
+			if tp.Tag != dataset.Maybe {
+				match = append(match, adtree.Instance{X: x, Match: tp.Tag.IsMatch()})
+			}
+			maybe = append(maybe, adtree.Instance{X: x, Match: tp.Tag == dataset.Maybe})
+		default:
+			return nil, nil, fmt.Errorf("core: unknown MaybeMode %d", mode)
+		}
+	}
+	return match, maybe, nil
+}
+
+// TrainModel trains the match ADTree on the tagged pairs under the given
+// Maybe policy.
+func TrainModel(cfg adtree.TrainConfig, ts *dataset.TagSet, coll *record.Collection, geo similarity.GeoDistancer, mode MaybeMode) (*adtree.Model, error) {
+	insts, _, err := Instances(ts, coll, geo, mode)
+	if err != nil {
+		return nil, err
+	}
+	return adtree.Train(cfg, features.Defs(), insts)
+}
+
+// CrossValidate estimates classification accuracy with k-fold CV over the
+// instance set. For IdentifyMaybe, pass the combined three-class scorer
+// via CrossValidateMaybe instead.
+func CrossValidate(cfg adtree.TrainConfig, insts []adtree.Instance, k int) (float64, error) {
+	if len(insts) < k {
+		return 0, fmt.Errorf("core: %d instances for %d folds", len(insts), k)
+	}
+	folds := eval.Folds(len(insts), k)
+	correct, total := 0, 0
+	for f := range folds {
+		var train []adtree.Instance
+		for _, i := range eval.TrainIndices(folds, f) {
+			train = append(train, insts[i])
+		}
+		m, err := adtree.Train(cfg, features.Defs(), train)
+		if err != nil {
+			return 0, err
+		}
+		for _, i := range folds[f] {
+			if m.Classify(insts[i].X) == insts[i].Match {
+				correct++
+			}
+			total++
+		}
+	}
+	return eval.Accuracy(correct, total), nil
+}
+
+// ThreeClassPrediction labels a pair Maybe when the maybe model fires,
+// otherwise match/non-match from the match model.
+type ThreeClassPrediction uint8
+
+// Three-class prediction labels.
+const (
+	PredictNo ThreeClassPrediction = iota
+	PredictMaybe
+	PredictYes
+)
+
+// CrossValidateMaybe estimates three-class accuracy (Table 5's "Identify
+// Maybe" row): a Maybe-vs-rest model gates a match model; a prediction is
+// correct when it reproduces the expert's (simplified) grade.
+func CrossValidateMaybe(cfg adtree.TrainConfig, ts *dataset.TagSet, coll *record.Collection, geo similarity.GeoDistancer, k int) (float64, error) {
+	ex := features.NewExtractor(geo)
+	type labelled struct {
+		x   features.Vector
+		tag dataset.Tag
+	}
+	all := make([]labelled, 0, ts.Len())
+	for _, tp := range ts.Pairs {
+		ra, rb := coll.ByID(tp.Pair.A), coll.ByID(tp.Pair.B)
+		if ra == nil || rb == nil {
+			return 0, fmt.Errorf("core: tagged pair %v references unknown record", tp.Pair)
+		}
+		all = append(all, labelled{x: ex.Extract(ra, rb), tag: tp.Tag})
+	}
+	if len(all) < k {
+		return 0, fmt.Errorf("core: %d instances for %d folds", len(all), k)
+	}
+	folds := eval.Folds(len(all), k)
+	correct, total := 0, 0
+	for f := range folds {
+		var matchInsts, maybeInsts []adtree.Instance
+		for _, i := range eval.TrainIndices(folds, f) {
+			l := all[i]
+			maybeInsts = append(maybeInsts, adtree.Instance{X: l.x, Match: l.tag == dataset.Maybe})
+			if l.tag != dataset.Maybe {
+				matchInsts = append(matchInsts, adtree.Instance{X: l.x, Match: l.tag.IsMatch()})
+			}
+		}
+		matchModel, err := adtree.Train(cfg, features.Defs(), matchInsts)
+		if err != nil {
+			return 0, err
+		}
+		maybeModel, err := adtree.Train(cfg, features.Defs(), maybeInsts)
+		if err != nil {
+			return 0, err
+		}
+		for _, i := range folds[f] {
+			l := all[i]
+			pred := PredictNo
+			switch {
+			case maybeModel.Classify(l.x):
+				pred = PredictMaybe
+			case matchModel.Classify(l.x):
+				pred = PredictYes
+			}
+			want := PredictNo
+			switch {
+			case l.tag == dataset.Maybe:
+				want = PredictMaybe
+			case l.tag.IsMatch():
+				want = PredictYes
+			}
+			if pred == want {
+				correct++
+			}
+			total++
+		}
+	}
+	return eval.Accuracy(correct, total), nil
+}

@@ -1,0 +1,38 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkGenerateItaly(b *testing.B) {
+	cfg := ItalyConfig()
+	cfg.Persons = 1000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateRandomSet(b *testing.B) {
+	cfg := RandomSetConfig(1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTagPairs(b *testing.B) {
+	g := genSmall(b, 500)
+	pairs := g.Gold.TruePairs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tagger := &Tagger{Gold: g.Gold, Coll: g.Collection, Rng: rand.New(rand.NewSource(int64(i)))}
+		tagger.TagPairs(pairs)
+	}
+}

@@ -1,0 +1,60 @@
+package eval
+
+import "math/bits"
+
+// PairBitmap is a triangular bitset over unordered index pairs (i,j), i!=j,
+// of n records. It counts distinct candidate pairs exactly without
+// materializing them — baseline blocking methods emit tens of millions of
+// pairs on the Italy set, far too many for a map.
+type PairBitmap struct {
+	n    int
+	bits []uint64
+}
+
+// NewPairBitmap allocates a bitmap for n records (n*(n-1)/2 bits).
+func NewPairBitmap(n int) *PairBitmap {
+	total := n * (n - 1) / 2
+	return &PairBitmap{n: n, bits: make([]uint64, (total+63)/64)}
+}
+
+// offset maps the unordered pair to its triangular index. Requires
+// 0 <= i < j < n.
+func (b *PairBitmap) offset(i, j int) int {
+	// Pairs (0,1),(0,2),...,(0,n-1),(1,2),... — row i starts at
+	// i*n - i*(i+1)/2, column j-i-1.
+	return i*b.n - i*(i+1)/2 + (j - i - 1)
+}
+
+// Add marks the pair; i and j may come in any order. Adding i==j or
+// out-of-range indices panics.
+func (b *PairBitmap) Add(i, j int) {
+	if i > j {
+		i, j = j, i
+	}
+	if i < 0 || j >= b.n || i == j {
+		panic("eval: pair index out of range")
+	}
+	off := b.offset(i, j)
+	b.bits[off/64] |= 1 << uint(off%64)
+}
+
+// Has reports whether the pair is marked.
+func (b *PairBitmap) Has(i, j int) bool {
+	if i > j {
+		i, j = j, i
+	}
+	if i < 0 || j >= b.n || i == j {
+		return false
+	}
+	off := b.offset(i, j)
+	return b.bits[off/64]&(1<<uint(off%64)) != 0
+}
+
+// Count returns the number of marked pairs.
+func (b *PairBitmap) Count() int {
+	total := 0
+	for _, w := range b.bits {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyRunner returns a runner shrunk for test speed; the sweep grid is
+// also what the benchmarks reuse.
+func tinyRunner() *Runner {
+	r := NewRunner(Quick)
+	r.PersonsOverride = 300
+	return r
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %+v incomplete", e)
+		}
+		if ids[e.ID] {
+			t.Errorf("duplicate id %q", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	// Every table and figure of the paper's evaluation is present.
+	for _, want := range []string{"table3", "table4", "table5", "table6", "table7",
+		"table8", "table9", "table10", "fig8", "fig11", "fig12", "fig15", "fig16"} {
+		if !ids[want] {
+			t.Errorf("experiment %q missing from registry", want)
+		}
+	}
+	if ByID("table3") == nil || ByID("zzz") != nil {
+		t.Error("ByID broken")
+	}
+}
+
+func TestDatasetMemoization(t *testing.T) {
+	r := tinyRunner()
+	if r.Italy() != r.Italy() {
+		t.Error("Italy dataset not memoized")
+	}
+	if r.ItalyPre() != r.ItalyPre() {
+		t.Error("preprocessed Italy not memoized")
+	}
+}
+
+func TestCheapExperimentsProduceOutput(t *testing.T) {
+	r := tinyRunner()
+	for _, id := range []string{"table3", "table4", "fig11"} {
+		var buf bytes.Buffer
+		if err := ByID(id).Run(r, &buf); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		out := buf.String()
+		if len(out) < 100 {
+			t.Errorf("%s output suspiciously short:\n%s", id, out)
+		}
+		if !strings.Contains(out, "==") {
+			t.Errorf("%s missing banner", id)
+		}
+	}
+}
+
+func TestTable3RowsSumWithinBounds(t *testing.T) {
+	r := tinyRunner()
+	var buf bytes.Buffer
+	if err := r.Table3(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Names columns must show near-total prevalence, spouse/maiden low.
+	out := buf.String()
+	if !strings.Contains(out, "Last Name") || !strings.Contains(out, "Maiden Name") {
+		t.Errorf("missing rows:\n%s", out)
+	}
+}
+
+func TestTagsShapedLikeThePaper(t *testing.T) {
+	r := tinyRunner()
+	tags := r.Tags()
+	if tags.Len() < 200 {
+		t.Fatalf("only %d tagged pairs", tags.Len())
+	}
+	hist := tags.CountByTag()
+	total := 0
+	for _, c := range hist {
+		total += c
+	}
+	maybeShare := float64(hist[2]) / float64(total)
+	// The paper's Maybe share is 611/10016 ~ 6%; the simulator should be
+	// in a loose band around that.
+	if maybeShare < 0.01 || maybeShare > 0.25 {
+		t.Errorf("Maybe share = %.3f, want ~0.06", maybeShare)
+	}
+	// Every tagged pair carries a blocking similarity in (0,1].
+	scores := r.TagScores()
+	for _, tp := range tags.Pairs {
+		s, ok := scores[tp.Pair]
+		if !ok || s <= 0 || s > 1 {
+			t.Fatalf("pair %v has score %v (ok=%v)", tp.Pair, s, ok)
+		}
+	}
+}
+
+func TestFig8OutputsBins(t *testing.T) {
+	r := tinyRunner()
+	var buf bytes.Buffer
+	if err := r.Fig8(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0.5") || !strings.Contains(buf.String(), "%") {
+		t.Errorf("Fig8 output malformed:\n%s", buf.String())
+	}
+}
+
+func TestSweepMemoizedAndOrdered(t *testing.T) {
+	r := tinyRunner()
+	s1, err := r.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := r.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1) != len(sweepNGs)*len(sweepMms) {
+		t.Fatalf("sweep size = %d", len(s1))
+	}
+	if &s1[0] != &s2[0] {
+		t.Error("sweep not memoized")
+	}
+	// Candidates grow with NG within each MaxMinSup series.
+	for _, mms := range sweepMms {
+		prev := -1
+		for _, ng := range sweepNGs {
+			for _, s := range s1 {
+				if s.MaxMinSup == mms && s.NG == ng {
+					if s.Candidates < prev {
+						t.Errorf("mms=%d: candidates fell from %d to %d at NG=%v",
+							mms, prev, s.Candidates, ng)
+					}
+					prev = s.Candidates
+				}
+			}
+		}
+	}
+}
+
+func TestTable5OrderAndRange(t *testing.T) {
+	r := tinyRunner()
+	var buf bytes.Buffer
+	if err := r.Table5(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, cond := range []string{"Maybe:=No", "Maybe values omitted", "Identify Maybe values"} {
+		if !strings.Contains(out, cond) {
+			t.Errorf("Table5 missing condition %q:\n%s", cond, out)
+		}
+	}
+}
+
+func TestTable7RendersTree(t *testing.T) {
+	r := tinyRunner()
+	var buf bytes.Buffer
+	if err := r.Table7(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "(1)") || !strings.Contains(out, "features used:") {
+		t.Errorf("Table7 output malformed:\n%s", out)
+	}
+}

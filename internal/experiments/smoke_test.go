@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestEveryExperimentRuns drives the complete registry at a tiny scale:
+// every table, figure, and ablation must produce non-trivial output
+// without error. This is the harness's end-to-end safety net; the
+// full-scale numbers are yvbench's job.
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := NewRunner(Quick)
+	r.PersonsOverride = 150
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(r, &buf); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			out := buf.String()
+			if !strings.HasPrefix(out, "== ") {
+				t.Errorf("%s: missing banner:\n%s", e.ID, out)
+			}
+			if len(strings.Split(out, "\n")) < 4 {
+				t.Errorf("%s: output too short:\n%s", e.ID, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/record"
+)
+
+// table3Rows groups item types into the paper's Table-3 rows: compound
+// fields (DOB, places) are represented by their lead component.
+var table3Rows = []struct {
+	label string
+	t     record.ItemType
+}{
+	{"Last Name", record.LastName},
+	{"First Name", record.FirstName},
+	{"Gender", record.Gender},
+	{"DOB", record.BirthYear},
+	{"Father's Name", record.FatherName},
+	{"Mother's Name", record.MotherName},
+	{"Spouse Name", record.SpouseName},
+	{"Maiden Name", record.MaidenName},
+	{"Mother's Maiden", record.MotherMaiden},
+	{"Permanent Place", record.PermCity},
+	{"Wartime Place", record.WarCity},
+	{"Birth Place", record.BirthCity},
+	{"Death Place", record.DeathCity},
+	{"Profession", record.Profession},
+}
+
+// Table3 reports item-type prevalence on the full-shaped set, the Italy
+// set, and the stratified random set.
+func (r *Runner) Table3(w io.Writer) error {
+	header(w, "Table 3", "Item Type Prevalence")
+	full := r.FullShape().Collection
+	italy := r.Italy().Collection
+	random := r.Random().Collection
+
+	pFull, pItaly, pRandom := full.Prevalence(), italy.Prevalence(), random.Prevalence()
+	fmt.Fprintf(w, "%-18s %14s %14s %14s\n", "Item Type",
+		fmt.Sprintf("Full(%d)", full.Len()),
+		fmt.Sprintf("Italy(%d)", italy.Len()),
+		fmt.Sprintf("Random(%d)", random.Len()))
+	for _, row := range table3Rows {
+		fmt.Fprintf(w, "%-18s %8d %4.0f%% %8d %4.0f%% %8d %4.0f%%\n", row.label,
+			pFull[row.t], pct(pFull[row.t], full.Len()),
+			pItaly[row.t], pct(pItaly[row.t], italy.Len()),
+			pRandom[row.t], pct(pRandom[row.t], random.Len()))
+	}
+	return nil
+}
+
+// table4Rows are the paper's Table-4 item types in its listing order.
+var table4Rows = []struct {
+	label string
+	t     record.ItemType
+}{
+	{"Last Name", record.LastName},
+	{"First Name", record.FirstName},
+	{"Gender", record.Gender},
+	{"Maiden Name", record.MaidenName},
+	{"Mother's Maiden Name", record.MotherMaiden},
+	{"Mother's First Name", record.MotherName},
+	{"Profession", record.Profession},
+	{"Spouse Name", record.SpouseName},
+	{"Father's Name", record.FatherName},
+	{"Birth Day", record.BirthDay},
+	{"Birth Month", record.BirthMonth},
+	{"Birth Year", record.BirthYear},
+	{"Birth City", record.BirthCity},
+	{"Birth County", record.BirthCounty},
+	{"Birth Region", record.BirthRegion},
+	{"Birth Country", record.BirthCountry},
+	{"War City", record.WarCity},
+	{"War County", record.WarCounty},
+	{"War Region", record.WarRegion},
+	{"War Country", record.WarCountry},
+	{"Perm. City", record.PermCity},
+	{"Perm. County", record.PermCounty},
+	{"Perm. Region", record.PermRegion},
+	{"Perm. Country", record.PermCountry},
+	{"Death City", record.DeathCity},
+	{"Death County", record.DeathCounty},
+	{"Death Region", record.DeathRegion},
+	{"Death Country", record.DeathCountry},
+}
+
+// Table4 reports item-type cardinality (distinct items and average records
+// per item) on the Italy and random sets.
+func (r *Runner) Table4(w io.Writer) error {
+	header(w, "Table 4", "Item Type Cardinality")
+	italy := r.Italy().Collection
+	random := r.Random().Collection
+	dI, oI := italy.Cardinality()
+	dR, oR := random.Cardinality()
+	fmt.Fprintf(w, "%-22s %18s %20s\n", "", "Italy Set", "Random Set")
+	fmt.Fprintf(w, "%-22s %8s %9s %9s %10s\n", "Item Type", "Items", "Rec/Item", "Items", "Rec/Item")
+	for _, row := range table4Rows {
+		fmt.Fprintf(w, "%-22s %8d %9s %9d %10s\n", row.label,
+			dI[row.t], perItem(oI[row.t], dI[row.t]),
+			dR[row.t], perItem(oR[row.t], dR[row.t]))
+	}
+	return nil
+}
+
+func pct(n, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(total)
+}
+
+func perItem(occurrences, distinct int) string {
+	if distinct == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d", occurrences/distinct)
+}

@@ -1,0 +1,270 @@
+// Package family performs entity resolution above the person level — the
+// paper's third open question ("how to perform entity resolution at the
+// edge and sub-graph level and not just at the node level?"). Starting
+// from person-level resolved entities, it links entities into family
+// units using relational evidence: spouses name each other, siblings
+// share parents, and parents appear as their children's father or mother
+// names. Connected components of the typed link graph are reconstructed
+// families — the Capelluto children reunited with Zimbul.
+package family
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/names"
+	"repro/internal/record"
+	"repro/internal/similarity"
+)
+
+// Relation labels an inter-entity family link.
+type Relation uint8
+
+// The relation kinds.
+const (
+	Sibling Relation = iota
+	ParentChild
+	Spouse
+
+	// NumRelations is the number of relation kinds.
+	NumRelations = int(Spouse) + 1
+)
+
+var relationNames = [NumRelations]string{"sibling", "parent-child", "spouse"}
+
+func (r Relation) String() string {
+	if int(r) < NumRelations {
+		return relationNames[r]
+	}
+	return fmt.Sprintf("Relation(%d)", uint8(r))
+}
+
+// Link is one scored family edge between two entities (indices into the
+// input slice).
+type Link struct {
+	A, B  int
+	Rel   Relation
+	Score float64
+}
+
+// Config tunes reconstruction.
+type Config struct {
+	// NameThreshold is the minimal Jaro-Winkler similarity for two name
+	// values to corroborate (equivalence classes always corroborate).
+	NameThreshold float64
+	// RequireSharedPlace additionally demands a shared city in any place
+	// role before linking. Recommended: family members lived together.
+	RequireSharedPlace bool
+	// MinScore drops links scoring below it.
+	MinScore float64
+}
+
+// NewConfig returns the defaults.
+func NewConfig() Config {
+	return Config{NameThreshold: 0.92, RequireSharedPlace: true, MinScore: 0.5}
+}
+
+// Result is the reconstruction outcome.
+type Result struct {
+	// Links are the accepted family edges, strongest first.
+	Links []Link
+	// Families are connected components over the links, as entity
+	// indices; singletons are omitted.
+	Families [][]int
+}
+
+// Reconstruct links the entities into families.
+func Reconstruct(cfg Config, entities []*core.Entity) *Result {
+	if cfg.NameThreshold == 0 {
+		cfg.NameThreshold = 0.92
+	}
+	res := &Result{}
+
+	// Block by last name to avoid the quadratic sweep: family links
+	// require a shared surname (married daughters link through maiden
+	// names, handled via MaidenName values).
+	blocks := make(map[string][]int)
+	for i, e := range entities {
+		for _, key := range surnameKeys(e) {
+			blocks[key] = append(blocks[key], i)
+		}
+	}
+	keys := make([]string, 0, len(blocks))
+	for k := range blocks {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	seen := make(map[[2]int]bool)
+	for _, k := range keys {
+		members := blocks[k]
+		for x := 0; x < len(members); x++ {
+			for y := x + 1; y < len(members); y++ {
+				i, j := members[x], members[y]
+				if i > j {
+					i, j = j, i
+				}
+				if seen[[2]int{i, j}] {
+					continue
+				}
+				seen[[2]int{i, j}] = true
+				if cfg.RequireSharedPlace && !sharePlace(entities[i], entities[j]) {
+					continue
+				}
+				if link, ok := bestLink(cfg, entities[i], entities[j]); ok {
+					link.A, link.B = i, j
+					res.Links = append(res.Links, link)
+				}
+			}
+		}
+	}
+	sort.Slice(res.Links, func(a, b int) bool {
+		if res.Links[a].Score != res.Links[b].Score {
+			return res.Links[a].Score > res.Links[b].Score
+		}
+		if res.Links[a].A != res.Links[b].A {
+			return res.Links[a].A < res.Links[b].A
+		}
+		return res.Links[a].B < res.Links[b].B
+	})
+
+	// Components.
+	parent := make([]int, len(entities))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for _, l := range res.Links {
+		ra, rb := find(l.A), find(l.B)
+		if ra != rb {
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	groups := make(map[int][]int)
+	for i := range entities {
+		root := find(i)
+		groups[root] = append(groups[root], i)
+	}
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	for _, r := range roots {
+		if len(groups[r]) > 1 {
+			res.Families = append(res.Families, groups[r])
+		}
+	}
+	return res
+}
+
+// surnameKeys returns the lowercased last names and maiden names an
+// entity can block under.
+func surnameKeys(e *core.Entity) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, t := range []record.ItemType{record.LastName, record.MaidenName} {
+		for _, v := range e.Values[t] {
+			k := strings.ToLower(v.Value)
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, k)
+			}
+		}
+	}
+	return out
+}
+
+// sharePlace reports whether the entities share any city in any place
+// role.
+func sharePlace(a, b *core.Entity) bool {
+	for pt := 0; pt < record.NumPlaceTypes; pt++ {
+		t := record.PlaceItem(record.PlaceType(pt), record.City)
+		for _, va := range a.Values[t] {
+			for _, vb := range b.Values[t] {
+				if strings.EqualFold(va.Value, vb.Value) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// bestLink evaluates the three relation hypotheses and returns the
+// strongest one above the config thresholds.
+func bestLink(cfg Config, a, b *core.Entity) (Link, bool) {
+	var best Link
+	ok := false
+	consider := func(rel Relation, score float64) {
+		if score >= cfg.MinScore && (!ok || score > best.Score) {
+			best = Link{Rel: rel, Score: score}
+			ok = true
+		}
+	}
+
+	// Sibling: both parents' names corroborate.
+	father := corroboration(cfg, a.Values[record.FatherName], b.Values[record.FatherName])
+	mother := corroboration(cfg, a.Values[record.MotherName], b.Values[record.MotherName])
+	switch {
+	case father > 0 && mother > 0:
+		consider(Sibling, (father+mother)/2)
+	case father > 0 || mother > 0:
+		consider(Sibling, maxf(father, mother)*0.6) // one parent only: weaker
+	}
+
+	// Spouse: each names the other.
+	ab := corroboration(cfg, a.Values[record.SpouseName], b.Values[record.FirstName])
+	ba := corroboration(cfg, b.Values[record.SpouseName], a.Values[record.FirstName])
+	if ab > 0 && ba > 0 {
+		consider(Spouse, (ab+ba)/2)
+	}
+
+	// Parent-child: the child's father/mother name corroborates the
+	// parent's first name, in either direction.
+	pc := maxf(
+		maxf(corroboration(cfg, a.Values[record.FatherName], b.Values[record.FirstName]),
+			corroboration(cfg, a.Values[record.MotherName], b.Values[record.FirstName])),
+		maxf(corroboration(cfg, b.Values[record.FatherName], a.Values[record.FirstName]),
+			corroboration(cfg, b.Values[record.MotherName], a.Values[record.FirstName])))
+	if pc > 0 {
+		consider(ParentChild, pc)
+	}
+	return best, ok
+}
+
+// corroboration returns the best name-pair similarity above the
+// threshold, or 0.
+func corroboration(cfg Config, as, bs []core.ValueSupport) float64 {
+	best := 0.0
+	for _, a := range as {
+		for _, b := range bs {
+			if names.SameClass(a.Value, b.Value) {
+				return 1
+			}
+			s := similarity.JaroWinkler(strings.ToLower(a.Value), strings.ToLower(b.Value))
+			if s >= cfg.NameThreshold && s > best {
+				best = s
+			}
+		}
+	}
+	return best
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

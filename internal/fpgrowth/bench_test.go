@@ -1,0 +1,70 @@
+package fpgrowth
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func benchTxns(n, universe, maxLen int) [][]int {
+	rng := rand.New(rand.NewSource(13))
+	txns := make([][]int, n)
+	for i := range txns {
+		seen := map[int]bool{}
+		for k := 0; k < 2+rng.Intn(maxLen); k++ {
+			// Zipf-ish skew: low ids are common.
+			id := int(float64(universe) * rng.Float64() * rng.Float64())
+			seen[id] = true
+		}
+		for it := range seen {
+			txns[i] = append(txns[i], it)
+		}
+		sort.Ints(txns[i])
+	}
+	return txns
+}
+
+func BenchmarkMineMaximal(b *testing.B) {
+	txns := benchTxns(2000, 800, 14)
+	m := NewMiner(txns)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MineMaximal(3, nil)
+	}
+}
+
+func BenchmarkMineAll(b *testing.B) {
+	txns := benchTxns(800, 500, 10)
+	m := NewMiner(txns)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Mine(3, nil)
+	}
+}
+
+func BenchmarkSupportSet(b *testing.B) {
+	txns := benchTxns(5000, 600, 14)
+	m := NewMiner(txns)
+	idx := m.BuildIndex()
+	mfis := m.MineMaximal(4, nil)
+	if len(mfis) == 0 {
+		b.Fatal("no MFIs to probe")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.SupportSet(mfis[i%len(mfis)].Items, nil)
+	}
+}
+
+func BenchmarkBuildIndex(b *testing.B) {
+	txns := benchTxns(5000, 600, 14)
+	m := NewMiner(txns)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.BuildIndex()
+	}
+}

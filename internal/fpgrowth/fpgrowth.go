@@ -1,0 +1,280 @@
+// Package fpgrowth implements frequent-itemset mining over integer item
+// ids using the FP-Growth algorithm (Han et al.), plus the maximal
+// frequent itemset (MFI) extraction and the frequent-item pruning rule
+// MFIBlocks relies on.
+//
+// A transaction is a record's deduplicated item-id set; the support of an
+// itemset is the number of transactions containing it. An itemset is
+// frequent when its support is at least minsup and maximal when no frequent
+// strict superset exists.
+package fpgrowth
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Itemset is one mined itemset with its support count.
+type Itemset struct {
+	// Items are the item ids, sorted ascending.
+	Items []int
+	// Support is the number of transactions containing all Items.
+	Support int
+}
+
+// String renders the itemset for debugging.
+func (s Itemset) String() string {
+	return fmt.Sprintf("%v(sup=%d)", s.Items, s.Support)
+}
+
+// fpNode is one FP-tree node.
+type fpNode struct {
+	item     int
+	count    int
+	parent   *fpNode
+	children map[int]*fpNode
+	nextHom  *fpNode // next node holding the same item (header list)
+}
+
+// fpTree is an FP-tree with its header table.
+type fpTree struct {
+	root    *fpNode
+	headers map[int]*fpNode // item -> first node in header list
+	counts  map[int]int     // item -> total support in this tree
+}
+
+func newTree() *fpTree {
+	return &fpTree{
+		root:    &fpNode{item: -1, children: make(map[int]*fpNode)},
+		headers: make(map[int]*fpNode),
+		counts:  make(map[int]int),
+	}
+}
+
+// insert adds a transaction (items must be ordered by the tree's item
+// order) with the given count.
+func (t *fpTree) insert(items []int, count int) {
+	node := t.root
+	for _, it := range items {
+		child, ok := node.children[it]
+		if !ok {
+			child = &fpNode{item: it, parent: node, children: make(map[int]*fpNode)}
+			node.children[it] = child
+			child.nextHom = t.headers[it]
+			t.headers[it] = child
+		}
+		child.count += count
+		t.counts[it] += count
+		node = child
+	}
+}
+
+// singlePath returns the tree's unique path when the tree is a chain, or
+// nil.
+func (t *fpTree) singlePath() []*fpNode {
+	var path []*fpNode
+	node := t.root
+	for {
+		if len(node.children) == 0 {
+			return path
+		}
+		if len(node.children) > 1 {
+			return nil
+		}
+		for _, c := range node.children {
+			node = c
+		}
+		path = append(path, node)
+	}
+}
+
+// Miner mines frequent itemsets from a fixed transaction database.
+type Miner struct {
+	transactions [][]int
+	// Pruned items are excluded from mining entirely (the paper prunes
+	// the most frequent .03% of items).
+	pruned map[int]bool
+}
+
+// NewMiner builds a miner over the transactions. Each transaction must be
+// a set (no duplicate ids); order is irrelevant.
+func NewMiner(transactions [][]int) *Miner {
+	return &Miner{transactions: transactions}
+}
+
+// Prune excludes the given item ids from all subsequent mining.
+func (m *Miner) Prune(items []int) {
+	if m.pruned == nil {
+		m.pruned = make(map[int]bool, len(items))
+	}
+	for _, it := range items {
+		m.pruned[it] = true
+	}
+}
+
+// Mine returns all frequent itemsets with support >= minsup, over the
+// transactions whose indices are in active (nil means all). minsup must be
+// at least 1. Singleton itemsets are included.
+func (m *Miner) Mine(minsup int, active []int) []Itemset {
+	if minsup < 1 {
+		minsup = 1
+	}
+	tree, _ := m.buildTree(minsup, active)
+	var out []Itemset
+	mineTree(tree, nil, minsup, &out)
+	for i := range out {
+		sort.Ints(out[i].Items)
+	}
+	return out
+}
+
+// buildTree constructs the initial FP-tree over frequent items only, with
+// items ordered by descending frequency. It also returns the structural
+// rank of each frequent item (lower rank = closer to the root on every
+// path).
+func (m *Miner) buildTree(minsup int, active []int) (*fpTree, map[int]int) {
+	freq := make(map[int]int)
+	forEachActive(m.transactions, active, func(txn []int) {
+		for _, it := range txn {
+			if !m.pruned[it] {
+				freq[it]++
+			}
+		}
+	})
+	order := make([]int, 0, len(freq))
+	for it, f := range freq {
+		if f >= minsup {
+			order = append(order, it)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if freq[order[i]] != freq[order[j]] {
+			return freq[order[i]] > freq[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	rank := make(map[int]int, len(order))
+	for i, it := range order {
+		rank[it] = i
+	}
+
+	tree := newTree()
+	buf := make([]int, 0, 32)
+	forEachActive(m.transactions, active, func(txn []int) {
+		buf = buf[:0]
+		for _, it := range txn {
+			if _, ok := rank[it]; ok {
+				buf = append(buf, it)
+			}
+		}
+		sort.Slice(buf, func(i, j int) bool { return rank[buf[i]] < rank[buf[j]] })
+		if len(buf) > 0 {
+			tree.insert(buf, 1)
+		}
+	})
+	return tree, rank
+}
+
+func forEachActive(txns [][]int, active []int, fn func([]int)) {
+	if active == nil {
+		for _, t := range txns {
+			fn(t)
+		}
+		return
+	}
+	for _, i := range active {
+		fn(txns[i])
+	}
+}
+
+// mineTree is the recursive FP-Growth step: for each item in the tree
+// (least frequent first), emit suffix+item and recurse into the item's
+// conditional tree. Single-path trees short-circuit to combinations.
+func mineTree(t *fpTree, suffix []int, minsup int, out *[]Itemset) {
+	if path := t.singlePath(); path != nil {
+		emitPathCombinations(path, suffix, minsup, out)
+		return
+	}
+	// Items in ascending support order for bottom-up growth.
+	items := make([]int, 0, len(t.counts))
+	for it, c := range t.counts {
+		if c >= minsup {
+			items = append(items, it)
+		}
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if t.counts[items[i]] != t.counts[items[j]] {
+			return t.counts[items[i]] < t.counts[items[j]]
+		}
+		return items[i] > items[j]
+	})
+	for _, it := range items {
+		newSuffix := append(append([]int(nil), suffix...), it)
+		*out = append(*out, Itemset{Items: newSuffix, Support: t.counts[it]})
+
+		// Build the conditional tree from the prefix paths of `it`,
+		// rebuilt to contain only items frequent within it.
+		pruned := pruneTree(conditionalTree(t, it), minsup)
+		if len(pruned.counts) > 0 {
+			mineTree(pruned, newSuffix, minsup, out)
+		}
+	}
+}
+
+// pruneTree rebuilds a conditional tree keeping only items with support >=
+// minsup, preserving path counts.
+func pruneTree(t *fpTree, minsup int) *fpTree {
+	keep := make(map[int]bool, len(t.counts))
+	for it, c := range t.counts {
+		if c >= minsup {
+			keep[it] = true
+		}
+	}
+	out := newTree()
+	// Walk all leaf-to-root paths via DFS, reinserting filtered paths.
+	var walk func(node *fpNode, path []int)
+	walk = func(node *fpNode, path []int) {
+		cur := path
+		if node.item >= 0 && keep[node.item] {
+			cur = append(append([]int(nil), path...), node.item)
+		}
+		childSum := 0
+		for _, c := range node.children {
+			childSum += c.count
+			walk(c, cur)
+		}
+		if node.item >= 0 {
+			// Count mass terminating at this node.
+			if rem := node.count - childSum; rem > 0 && len(cur) > 0 {
+				out.insert(cur, rem)
+			}
+		}
+	}
+	walk(t.root, nil)
+	return out
+}
+
+// emitPathCombinations emits every non-empty combination of a single-path
+// tree's nodes, appended to suffix, with the support of the deepest node in
+// the combination.
+func emitPathCombinations(path []*fpNode, suffix []int, minsup int, out *[]Itemset) {
+	// Filter path nodes below minsup (the path is count-monotonic
+	// decreasing, so frequent nodes form a prefix).
+	n := 0
+	for n < len(path) && path[n].count >= minsup {
+		n++
+	}
+	path = path[:n]
+	total := 1 << uint(len(path))
+	for mask := 1; mask < total; mask++ {
+		items := append([]int(nil), suffix...)
+		sup := 0
+		for i := 0; i < len(path); i++ {
+			if mask&(1<<uint(i)) != 0 {
+				items = append(items, path[i].item)
+				sup = path[i].count // deepest selected node
+			}
+		}
+		*out = append(*out, Itemset{Items: items, Support: sup})
+	}
+}

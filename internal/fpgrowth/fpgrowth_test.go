@@ -1,0 +1,263 @@
+package fpgrowth
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// bruteForce enumerates all frequent itemsets by counting every subset of
+// the item universe against the transactions (exponential; small inputs
+// only).
+func bruteForce(txns [][]int, minsup int) []Itemset {
+	universe := map[int]bool{}
+	for _, t := range txns {
+		for _, it := range t {
+			universe[it] = true
+		}
+	}
+	var items []int
+	for it := range universe {
+		items = append(items, it)
+	}
+	sort.Ints(items)
+	var out []Itemset
+	total := 1 << uint(len(items))
+	for mask := 1; mask < total; mask++ {
+		var set []int
+		for i, it := range items {
+			if mask&(1<<uint(i)) != 0 {
+				set = append(set, it)
+			}
+		}
+		sup := 0
+		for _, t := range txns {
+			if containsAll(t, set) {
+				sup++
+			}
+		}
+		if sup >= minsup {
+			out = append(out, Itemset{Items: set, Support: sup})
+		}
+	}
+	return out
+}
+
+func containsAll(txn, set []int) bool {
+	m := make(map[int]bool, len(txn))
+	for _, it := range txn {
+		m[it] = true
+	}
+	for _, it := range set {
+		if !m[it] {
+			return false
+		}
+	}
+	return true
+}
+
+func canonical(sets []Itemset) map[string]int {
+	m := make(map[string]int, len(sets))
+	for _, s := range sets {
+		m[keyOf(s.Items)] = s.Support
+	}
+	return m
+}
+
+func keyOf(items []int) string {
+	b := make([]byte, 0, len(items)*3)
+	for _, it := range items {
+		b = append(b, byte(it), byte(it>>8), '|')
+	}
+	return string(b)
+}
+
+func TestMineMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		nTxn := 2 + rng.Intn(12)
+		nItems := 2 + rng.Intn(8)
+		txns := make([][]int, nTxn)
+		for i := range txns {
+			seen := map[int]bool{}
+			for k := 0; k < 1+rng.Intn(nItems); k++ {
+				seen[rng.Intn(nItems)] = true
+			}
+			for it := range seen {
+				txns[i] = append(txns[i], it)
+			}
+			sort.Ints(txns[i])
+		}
+		minsup := 1 + rng.Intn(4)
+
+		want := canonical(bruteForce(txns, minsup))
+		got := canonical(NewMiner(txns).Mine(minsup, nil))
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("trial %d (minsup=%d, txns=%v):\nwant %d sets\ngot  %d sets\nwant=%v\ngot=%v",
+				trial, minsup, txns, len(want), len(got), want, got)
+		}
+	}
+}
+
+func TestMineMaximalProperty(t *testing.T) {
+	// Every MFI is frequent, no MFI is subset of another, and every
+	// frequent itemset is a subset of some MFI.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nTxn := 3 + rng.Intn(10)
+		nItems := 3 + rng.Intn(7)
+		txns := make([][]int, nTxn)
+		for i := range txns {
+			seen := map[int]bool{}
+			for k := 0; k < 1+rng.Intn(nItems); k++ {
+				seen[rng.Intn(nItems)] = true
+			}
+			for it := range seen {
+				txns[i] = append(txns[i], it)
+			}
+			sort.Ints(txns[i])
+		}
+		minsup := 1 + rng.Intn(3)
+		all := bruteForce(txns, minsup)
+		mfis := NewMiner(txns).MineMaximal(minsup, nil)
+
+		freq := canonical(all)
+		for _, m := range mfis {
+			if sup, ok := freq[keyOf(m.Items)]; !ok || sup != m.Support {
+				return false
+			}
+		}
+		for i, a := range mfis {
+			for j, b := range mfis {
+				if i != j && isSubset(a.Items, b.Items) {
+					return false
+				}
+			}
+		}
+		for _, s := range all {
+			covered := false
+			for _, m := range mfis {
+				if isSubset(s.Items, m.Items) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMineActiveSubset(t *testing.T) {
+	txns := [][]int{{0, 1}, {0, 1}, {0, 2}, {1, 2}, {0, 1, 2}}
+	m := NewMiner(txns)
+	// Restricted to the first two transactions, {0,1} has support 2.
+	got := m.Mine(2, []int{0, 1})
+	found := false
+	for _, s := range got {
+		if reflect.DeepEqual(s.Items, []int{0, 1}) && s.Support == 2 {
+			found = true
+		}
+		if s.Support < 2 {
+			t.Errorf("itemset %v below minsup", s)
+		}
+	}
+	if !found {
+		t.Errorf("expected {0,1} support 2 in %v", got)
+	}
+}
+
+func TestPruneExcludesItems(t *testing.T) {
+	txns := [][]int{{0, 1}, {0, 1}, {0, 1}}
+	m := NewMiner(txns)
+	m.Prune([]int{0})
+	for _, s := range m.Mine(1, nil) {
+		for _, it := range s.Items {
+			if it == 0 {
+				t.Fatalf("pruned item 0 appeared in %v", s)
+			}
+		}
+	}
+}
+
+func TestSupportSet(t *testing.T) {
+	txns := [][]int{{0, 1}, {0, 1, 2}, {1, 2}, {0, 2}}
+	idx := NewMiner(txns).BuildIndex()
+
+	got := idx.SupportSet([]int{0, 1}, nil)
+	if want := []int{0, 1}; !reflect.DeepEqual(got, want) {
+		t.Errorf("SupportSet({0,1}) = %v, want %v", got, want)
+	}
+
+	mask := []bool{false, true, true, true}
+	got = idx.SupportSet([]int{0, 1}, mask)
+	if want := []int{1}; !reflect.DeepEqual(got, want) {
+		t.Errorf("masked SupportSet = %v, want %v", got, want)
+	}
+
+	if got := idx.SupportSet([]int{5}, nil); got != nil {
+		t.Errorf("unknown item support = %v, want nil", got)
+	}
+	if got := idx.SupportSet(nil, nil); got != nil {
+		t.Errorf("empty itemset support = %v, want nil", got)
+	}
+}
+
+func TestSupportSetMatchesMinedSupport(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	txns := make([][]int, 40)
+	for i := range txns {
+		seen := map[int]bool{}
+		for k := 0; k < 1+rng.Intn(6); k++ {
+			seen[rng.Intn(10)] = true
+		}
+		for it := range seen {
+			txns[i] = append(txns[i], it)
+		}
+		sort.Ints(txns[i])
+	}
+	m := NewMiner(txns)
+	idx := m.BuildIndex()
+	for _, s := range m.Mine(2, nil) {
+		if got := len(idx.SupportSet(s.Items, nil)); got != s.Support {
+			t.Errorf("itemset %v: index support %d != mined support %d", s.Items, got, s.Support)
+		}
+	}
+}
+
+func TestEmptyAndDegenerateInputs(t *testing.T) {
+	if got := NewMiner(nil).Mine(2, nil); len(got) != 0 {
+		t.Errorf("empty db mined %v", got)
+	}
+	if got := NewMiner([][]int{{}}).Mine(1, nil); len(got) != 0 {
+		t.Errorf("empty txn mined %v", got)
+	}
+	// minsup below 1 is clamped to 1.
+	got := NewMiner([][]int{{3}}).Mine(0, nil)
+	if len(got) != 1 || got[0].Support != 1 {
+		t.Errorf("clamped minsup mined %v", got)
+	}
+}
+
+func TestFilterMaximalKeepsLongest(t *testing.T) {
+	in := []Itemset{
+		{Items: []int{1}, Support: 5},
+		{Items: []int{1, 2}, Support: 3},
+		{Items: []int{1, 2, 3}, Support: 2},
+		{Items: []int{4}, Support: 2},
+	}
+	out := FilterMaximal(in)
+	if len(out) != 2 {
+		t.Fatalf("got %v, want 2 maximal sets", out)
+	}
+	if !reflect.DeepEqual(out[0].Items, []int{1, 2, 3}) || !reflect.DeepEqual(out[1].Items, []int{4}) {
+		t.Errorf("maximal sets = %v", out)
+	}
+}

@@ -1,0 +1,310 @@
+package fpgrowth
+
+import "sort"
+
+// MineMaximal returns only the maximal frequent itemsets: frequent itemsets
+// with no frequent strict superset (over the same active transactions and
+// minsup). Singleton MFIs are included. Unlike Mine followed by
+// FilterMaximal, maximal sets are mined directly (FPmax-style) with
+// subsumption pruning, avoiding the exponential enumeration of all
+// frequent itemsets.
+func (m *Miner) MineMaximal(minsup int, active []int) []Itemset {
+	if minsup < 1 {
+		minsup = 1
+	}
+	tree, rank := m.buildTree(minsup, active)
+	store := newMFIStore()
+	fpmax(tree, nil, minsup, rank, store)
+	// Safety net: the structural-order argument guarantees no stored set
+	// is subsumed by a later one, but a final maximality sweep is cheap
+	// relative to mining and makes the guarantee independent of ordering
+	// subtleties.
+	out := FilterMaximal(store.sets)
+	sort.Slice(out, func(a, b int) bool {
+		x, y := out[a].Items, out[b].Items
+		for i := 0; i < len(x) && i < len(y); i++ {
+			if x[i] != y[i] {
+				return x[i] < y[i]
+			}
+		}
+		return len(x) < len(y)
+	})
+	return out
+}
+
+// mfiStore accumulates maximal itemsets with posting-list subsumption
+// checks. Processing order (least-frequent header items first) guarantees
+// no stored set is ever subsumed by a later one.
+type mfiStore struct {
+	sets    []Itemset
+	posting map[int][]int // item -> indices into sets
+}
+
+func newMFIStore() *mfiStore {
+	return &mfiStore{posting: make(map[int][]int)}
+}
+
+// subsumes reports whether cand (sorted) is a subset of a stored set.
+func (s *mfiStore) subsumes(cand []int) bool {
+	return subsumed(cand, s.sets, s.posting)
+}
+
+// insert adds a candidate if it is not subsumed; items must be sorted.
+func (s *mfiStore) insert(items []int, support int) {
+	if len(items) == 0 || s.subsumes(items) {
+		return
+	}
+	idx := len(s.sets)
+	s.sets = append(s.sets, Itemset{Items: items, Support: support})
+	for _, it := range items {
+		s.posting[it] = append(s.posting[it], idx)
+	}
+}
+
+// fpmax mines maximal itemsets from the tree under the given suffix.
+// Header items are processed deepest-first (descending structural rank) so
+// that an item's conditional tree only contains items processed after it —
+// the invariant the store's no-late-subsumption argument relies on.
+func fpmax(t *fpTree, suffix []int, minsup int, rank map[int]int, store *mfiStore) {
+	if len(t.counts) == 0 {
+		return
+	}
+	if path := t.singlePath(); path != nil {
+		// The only maximal candidate from a single path is the full
+		// frequent prefix of the path plus the suffix.
+		items := append([]int(nil), suffix...)
+		support := 0
+		for _, n := range path {
+			if n.count < minsup {
+				break
+			}
+			items = append(items, n.item)
+			support = n.count
+		}
+		if support > 0 {
+			sort.Ints(items)
+			store.insert(items, support)
+		}
+		return
+	}
+	// Head-union-tail pruning: if suffix plus every frequent item here is
+	// already covered, nothing new can emerge from this subtree.
+	all := append([]int(nil), suffix...)
+	for it, c := range t.counts {
+		if c >= minsup {
+			all = append(all, it)
+		}
+	}
+	sort.Ints(all)
+	if store.subsumes(all) {
+		return
+	}
+
+	// Process header items deepest-first (descending structural rank).
+	items := make([]int, 0, len(t.counts))
+	for it, c := range t.counts {
+		if c >= minsup {
+			items = append(items, it)
+		}
+	}
+	sort.Slice(items, func(i, j int) bool { return rank[items[i]] > rank[items[j]] })
+	for _, it := range items {
+		newSuffix := append(append([]int(nil), suffix...), it)
+		cond := conditionalTree(t, it)
+		pruned := pruneTree(cond, minsup)
+		if len(pruned.counts) == 0 {
+			sorted := append([]int(nil), newSuffix...)
+			sort.Ints(sorted)
+			store.insert(sorted, t.counts[it])
+			continue
+		}
+		// Subsumption pruning on head ∪ tail of the conditional tree.
+		cand := append([]int(nil), newSuffix...)
+		for ci := range pruned.counts {
+			cand = append(cand, ci)
+		}
+		sort.Ints(cand)
+		if store.subsumes(cand) {
+			continue
+		}
+		fpmax(pruned, newSuffix, minsup, rank, store)
+		// The bare newSuffix may itself be maximal when no extension
+		// found in the subtree covers it.
+		sorted := append([]int(nil), newSuffix...)
+		sort.Ints(sorted)
+		store.insert(sorted, t.counts[it])
+	}
+}
+
+// conditionalTree builds the conditional tree of an item from its prefix
+// paths.
+func conditionalTree(t *fpTree, item int) *fpTree {
+	cond := newTree()
+	for node := t.headers[item]; node != nil; node = node.nextHom {
+		var rev []int
+		for p := node.parent; p != nil && p.item >= 0; p = p.parent {
+			rev = append(rev, p.item)
+		}
+		if len(rev) == 0 {
+			continue
+		}
+		for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
+			rev[l], rev[r] = rev[r], rev[l]
+		}
+		cond.insert(rev, node.count)
+	}
+	return cond
+}
+
+// FilterMaximal removes every itemset that is a strict subset of another
+// itemset in the input. Input itemsets must have sorted Items.
+func FilterMaximal(sets []Itemset) []Itemset {
+	if len(sets) == 0 {
+		return nil
+	}
+	// Longest first: a set can only be subsumed by a longer one.
+	order := make([]int, len(sets))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return len(sets[order[a]].Items) > len(sets[order[b]].Items)
+	})
+
+	var maximal []Itemset
+	posting := make(map[int][]int) // item -> indices into maximal
+	for _, idx := range order {
+		cand := sets[idx]
+		if !subsumed(cand.Items, maximal, posting) {
+			mi := len(maximal)
+			maximal = append(maximal, cand)
+			for _, it := range cand.Items {
+				posting[it] = append(posting[it], mi)
+			}
+		}
+	}
+	sort.Slice(maximal, func(a, b int) bool {
+		x, y := maximal[a].Items, maximal[b].Items
+		for i := 0; i < len(x) && i < len(y); i++ {
+			if x[i] != y[i] {
+				return x[i] < y[i]
+			}
+		}
+		return len(x) < len(y)
+	})
+	return maximal
+}
+
+// subsumed reports whether cand (sorted) is a subset of any accepted
+// maximal itemset, using the posting list of cand's least-covered item.
+func subsumed(cand []int, maximal []Itemset, posting map[int][]int) bool {
+	if len(cand) == 0 {
+		return len(maximal) > 0
+	}
+	// Pick the candidate item appearing in the fewest maximal sets.
+	best := cand[0]
+	for _, it := range cand[1:] {
+		if len(posting[it]) < len(posting[best]) {
+			best = it
+		}
+	}
+	for _, mi := range posting[best] {
+		if isSubset(cand, maximal[mi].Items) {
+			return true
+		}
+	}
+	return false
+}
+
+// isSubset reports whether sorted slice a ⊆ sorted slice b.
+func isSubset(a, b []int) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i] > b[j]:
+			j++
+		default:
+			return false
+		}
+	}
+	return i == len(a)
+}
+
+// Index is an inverted index from item id to the (ascending) transaction
+// indices containing it, used to materialize itemset supports as blocks.
+type Index struct {
+	postings map[int][]int
+	numTxns  int
+}
+
+// BuildIndex indexes the miner's transactions.
+func (m *Miner) BuildIndex() *Index {
+	idx := &Index{postings: make(map[int][]int), numTxns: len(m.transactions)}
+	for ti, txn := range m.transactions {
+		for _, it := range txn {
+			idx.postings[it] = append(idx.postings[it], ti)
+		}
+	}
+	return idx
+}
+
+// SupportSet returns the ascending transaction indices containing every
+// item of the itemset. When mask is non-nil, only transactions with
+// mask[i]==true are returned.
+func (x *Index) SupportSet(items []int, mask []bool) []int {
+	if len(items) == 0 {
+		return nil
+	}
+	// Intersect postings, smallest first.
+	lists := make([][]int, len(items))
+	for i, it := range items {
+		lists[i] = x.postings[it]
+		if len(lists[i]) == 0 {
+			return nil
+		}
+	}
+	sort.Slice(lists, func(a, b int) bool { return len(lists[a]) < len(lists[b]) })
+	cur := lists[0]
+	for _, next := range lists[1:] {
+		cur = intersect(cur, next)
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	if mask == nil {
+		out := make([]int, len(cur))
+		copy(out, cur)
+		return out
+	}
+	out := cur[:0:0]
+	for _, ti := range cur {
+		if mask[ti] {
+			out = append(out, ti)
+		}
+	}
+	return out
+}
+
+func intersect(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}

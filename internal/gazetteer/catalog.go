@@ -1,0 +1,311 @@
+package gazetteer
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Community identifies one of the six pre-Holocaust Jewish communities the
+// paper's stratified sample draws from.
+type Community int
+
+// The six communities. They differ — as in the paper — in naming culture
+// and in how persecution progressed, which the dataset generator uses to
+// vary field prevalence per community.
+const (
+	Italy Community = iota
+	Poland
+	Germany
+	Hungary
+	Greece
+	Soviet
+
+	// NumCommunities is the number of communities.
+	NumCommunities = int(Soviet) + 1
+)
+
+var communityNames = [NumCommunities]string{"Italy", "Poland", "Germany", "Hungary", "Greece", "Soviet"}
+
+func (c Community) String() string {
+	if int(c) < NumCommunities {
+		return communityNames[c]
+	}
+	return fmt.Sprintf("Community(%d)", int(c))
+}
+
+// regionSpec declares one community's administrative skeleton and real
+// anchor cities used to ground coordinates.
+type regionSpec struct {
+	country string
+	regions []regionDef
+}
+
+type regionDef struct {
+	name     string
+	counties []countyDef
+}
+
+type countyDef struct {
+	name    string
+	anchors []anchorCity
+	// stems seed synthetic town names around the anchors.
+	stems []string
+}
+
+type anchorCity struct {
+	name     string
+	lat, lon float64
+	variants []string
+}
+
+var communitySpecs = [NumCommunities]regionSpec{
+	Italy: {
+		country: "Italy",
+		regions: []regionDef{
+			{"Piedmont", []countyDef{
+				{"Torino", []anchorCity{
+					{"Torino", 45.07, 7.69, []string{"Turin"}},
+					{"Moncalieri", 45.00, 7.68, nil},
+					{"Cuorgne", 45.39, 7.65, []string{"Cuorgnè"}},
+					{"Canischio", 45.37, 7.60, nil},
+				}, []string{"Riva", "Borgo", "Castel", "Monte", "Villa"}},
+				{"Cuneo", []anchorCity{
+					{"Cuneo", 44.39, 7.55, nil},
+					{"Saluzzo", 44.64, 7.49, nil},
+				}, []string{"Pian", "Rocca", "San"}},
+			}},
+			{"Lombardy", []countyDef{
+				{"Milano", []anchorCity{
+					{"Milano", 45.46, 9.19, []string{"Milan"}},
+					{"Monza", 45.58, 9.27, nil},
+				}, []string{"Sesto", "Cassano", "Corte"}},
+			}},
+			{"Lazio", []countyDef{
+				{"Roma", []anchorCity{
+					{"Roma", 41.90, 12.50, []string{"Rome"}},
+				}, []string{"Colle", "Grotta", "Campo"}},
+			}},
+			{"Tuscany", []countyDef{
+				{"Firenze", []anchorCity{
+					{"Firenze", 43.77, 11.26, []string{"Florence"}},
+					{"Livorno", 43.55, 10.31, []string{"Leghorn"}},
+				}, []string{"Poggio", "Bagno", "Serra"}},
+			}},
+		},
+	},
+	Poland: {
+		country: "Poland",
+		regions: []regionDef{
+			{"Mazovia", []countyDef{
+				{"Warszawa", []anchorCity{
+					{"Warszawa", 52.23, 21.01, []string{"Warsaw", "Varshava"}},
+					{"Otwock", 52.11, 21.26, nil},
+				}, []string{"Nowy", "Stary", "Wola"}},
+			}},
+			{"Galicia", []countyDef{
+				{"Lwow", []anchorCity{
+					{"Lwow", 49.84, 24.03, []string{"Lviv", "Lemberg", "Lvov"}},
+					{"Lubaczow", 50.16, 23.12, []string{"Lubaczo"}},
+				}, []string{"Zolkiew", "Brody", "Sambor"}},
+				{"Krakow", []anchorCity{
+					{"Krakow", 50.06, 19.94, []string{"Cracow", "Kroke"}},
+					{"Tarnow", 50.01, 20.99, nil},
+				}, []string{"Bochnia", "Wadowice", "Oswiecim"}},
+			}},
+			{"Polesie", []countyDef{
+				{"Kobryn", []anchorCity{
+					{"Kobryn", 52.21, 24.36, nil},
+					{"Antopol", 52.20, 24.78, nil},
+				}, []string{"Pinsk", "Drohiczyn", "Janow"}},
+			}},
+			{"Lodz", []countyDef{
+				{"Lodz", []anchorCity{
+					{"Lodz", 51.76, 19.46, []string{"Litzmannstadt"}},
+					{"Pabianice", 51.66, 19.35, nil},
+				}, []string{"Zgierz", "Ozorkow", "Brzeziny"}},
+			}},
+		},
+	},
+	Germany: {
+		country: "Germany",
+		regions: []regionDef{
+			{"Prussia", []countyDef{
+				{"Berlin", []anchorCity{
+					{"Berlin", 52.52, 13.40, nil},
+					{"Potsdam", 52.39, 13.06, nil},
+				}, []string{"Spandau", "Kopenick", "Teltow"}},
+			}},
+			{"Hesse", []countyDef{
+				{"Frankfurt", []anchorCity{
+					{"Frankfurt", 50.11, 8.68, []string{"Frankfurt am Main"}},
+					{"Offenbach", 50.10, 8.76, nil},
+				}, []string{"Hanau", "Giessen", "Fulda"}},
+			}},
+			{"Bavaria", []countyDef{
+				{"Munchen", []anchorCity{
+					{"Munchen", 48.14, 11.58, []string{"Munich"}},
+					{"Augsburg", 48.37, 10.90, nil},
+				}, []string{"Furth", "Erding", "Dachau"}},
+			}},
+		},
+	},
+	Hungary: {
+		country: "Hungary",
+		regions: []regionDef{
+			{"Budapest", []countyDef{
+				{"Pest", []anchorCity{
+					{"Budapest", 47.50, 19.04, nil},
+					{"Ujpest", 47.56, 19.09, nil},
+				}, []string{"Vac", "Godollo", "Cegled"}},
+			}},
+			{"Transylvania", []countyDef{
+				{"Kolozs", []anchorCity{
+					{"Kolozsvar", 46.77, 23.59, []string{"Cluj", "Klausenburg"}},
+					{"Des", 47.14, 23.87, []string{"Dej"}},
+				}, []string{"Szamos", "Banffy", "Torda"}},
+			}},
+			{"Carpathia", []countyDef{
+				{"Munkacs", []anchorCity{
+					{"Munkacs", 48.44, 22.72, []string{"Mukacevo"}},
+					{"Ungvar", 48.62, 22.30, []string{"Uzhhorod"}},
+				}, []string{"Bereg", "Huszt", "Szolyva"}},
+			}},
+		},
+	},
+	Greece: {
+		country: "Greece",
+		regions: []regionDef{
+			{"Macedonia", []countyDef{
+				{"Salonika", []anchorCity{
+					{"Salonika", 40.64, 22.94, []string{"Thessaloniki", "Saloniki"}},
+					{"Veria", 40.52, 22.20, nil},
+				}, []string{"Kavala", "Drama", "Serres"}},
+			}},
+			{"Dodecanese", []countyDef{
+				{"Rhodes", []anchorCity{
+					{"Rhodes", 36.43, 28.22, []string{"Rodi", "Rodos"}},
+					{"Kos", 36.89, 27.29, nil},
+				}, []string{"Lindos", "Trianda", "Kremasti"}},
+			}},
+		},
+	},
+	Soviet: {
+		country: "USSR",
+		regions: []regionDef{
+			{"Ukraine", []countyDef{
+				{"Kiev", []anchorCity{
+					{"Kiev", 50.45, 30.52, []string{"Kyiv"}},
+					{"Berdichev", 49.90, 28.58, []string{"Berdychiv"}},
+				}, []string{"Uman", "Fastov", "Zhitomir"}},
+				{"Odessa", []anchorCity{
+					{"Odessa", 46.48, 30.73, nil},
+					{"Balta", 47.94, 29.62, nil},
+				}, []string{"Ananiev", "Tulchin", "Bershad"}},
+			}},
+			{"Transnistria", []countyDef{
+				{"Moghilev", []anchorCity{
+					{"Moghilev", 48.45, 27.79, []string{"Mogilev-Podolsky"}},
+					{"Shargorod", 48.74, 28.08, nil},
+				}, []string{"Djurin", "Murafa", "Kopaygorod"}},
+			}},
+			{"Belarus", []countyDef{
+				{"Minsk", []anchorCity{
+					{"Minsk", 53.90, 27.56, nil},
+					{"Slutsk", 53.02, 27.55, nil},
+				}, []string{"Borisov", "Nesvizh", "Kletsk"}},
+			}},
+		},
+	},
+}
+
+// deathPlaces are camps/sites that appear as death places across all
+// communities in addition to home-region places.
+var deathPlaces = []Place{
+	{City: "Auschwitz", County: "Oswiecim", Region: "Galicia", Country: "Poland", Lat: 50.03, Lon: 19.18, Variants: []string{"Oswiecim-Birkenau"}},
+	{City: "Sobibor", County: "Wlodawa", Region: "Lublin", Country: "Poland", Lat: 51.45, Lon: 23.59, Variants: nil},
+	{City: "Treblinka", County: "Sokolow", Region: "Mazovia", Country: "Poland", Lat: 52.63, Lon: 22.05, Variants: nil},
+	{City: "Mauthausen", County: "Perg", Region: "Upper Austria", Country: "Austria", Lat: 48.26, Lon: 14.50, Variants: nil},
+	{City: "Drancy", County: "Seine", Region: "Ile-de-France", Country: "France", Lat: 48.92, Lon: 2.45, Variants: nil},
+	{City: "Bergen-Belsen", County: "Celle", Region: "Lower Saxony", Country: "Germany", Lat: 52.76, Lon: 9.91, Variants: nil},
+	{City: "Dachau", County: "Munchen", Region: "Bavaria", Country: "Germany", Lat: 48.27, Lon: 11.47, Variants: nil},
+	{City: "Theresienstadt", County: "Litomerice", Region: "Bohemia", Country: "Czechoslovakia", Lat: 50.51, Lon: 14.17, Variants: []string{"Terezin"}},
+}
+
+// townSuffixes expand name stems into synthetic towns per community.
+var townSuffixes = [NumCommunities][]string{
+	Italy:   {"etto", "ara", "ino", "ella", "ate"},
+	Poland:  {"ow", "ice", "owka", "in", "sk"},
+	Germany: {"heim", "dorf", "burg", "stadt", "feld"},
+	Hungary: {"halom", "haza", "falu", "var", "kut"},
+	Greece:  {"os", "ia", "ion", "ada", "iki"},
+	Soviet:  {"ovka", "insk", "grad", "ichi", "poli"},
+}
+
+// Builtin returns the built-in catalogue. townsPerCounty synthetic towns are
+// generated deterministically around each county's first anchor in addition
+// to the anchors themselves; pass 0 for anchors only.
+func Builtin(townsPerCounty int) *Gazetteer {
+	rng := rand.New(rand.NewSource(77))
+	var places []Place
+	for c := 0; c < NumCommunities; c++ {
+		spec := communitySpecs[c]
+		for _, reg := range spec.regions {
+			for _, cty := range reg.counties {
+				for _, a := range cty.anchors {
+					places = append(places, Place{
+						City: a.name, County: cty.name, Region: reg.name,
+						Country: spec.country, Lat: a.lat, Lon: a.lon,
+						Variants: a.variants,
+					})
+				}
+				base := cty.anchors[0]
+				suffixes := townSuffixes[c]
+				for n := 0; n < townsPerCounty; n++ {
+					stem := cty.stems[n%len(cty.stems)]
+					suffix := suffixes[(n/len(cty.stems))%len(suffixes)]
+					name := stem + suffix
+					if n >= len(cty.stems)*len(suffixes) {
+						name = fmt.Sprintf("%s %d", name, n)
+					}
+					places = append(places, Place{
+						City: name, County: cty.name, Region: reg.name,
+						Country: spec.country,
+						Lat:     base.lat + (rng.Float64()-0.5)*0.8,
+						Lon:     base.lon + (rng.Float64()-0.5)*0.8,
+					})
+				}
+			}
+		}
+	}
+	places = append(places, deathPlaces...)
+	return New(places)
+}
+
+// CommunityPlaces returns the catalogue entries belonging to one community
+// (by country), excluding the shared death-place sites.
+func (g *Gazetteer) CommunityPlaces(c Community) []Place {
+	country := communitySpecs[c].country
+	var out []Place
+	for _, p := range g.places {
+		if p.Country == country && !isDeathSite(p.City) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// DeathSites returns the shared camp/site entries.
+func DeathSites() []Place {
+	out := make([]Place, len(deathPlaces))
+	copy(out, deathPlaces)
+	return out
+}
+
+func isDeathSite(city string) bool {
+	for _, d := range deathPlaces {
+		if d.City == city {
+			return true
+		}
+	}
+	return false
+}

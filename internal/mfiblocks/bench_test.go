@@ -1,0 +1,30 @@
+package mfiblocks
+
+import "testing"
+
+func BenchmarkRun(b *testing.B) {
+	for _, persons := range []int{250, 500, 1000} {
+		b.Run(sizeName(persons), func(b *testing.B) {
+			g := smallItaly(b, persons)
+			cfg := NewConfig()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(cfg, g.Collection); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func sizeName(persons int) string {
+	switch persons {
+	case 250:
+		return "persons250"
+	case 500:
+		return "persons500"
+	default:
+		return "persons1000"
+	}
+}

@@ -1,0 +1,179 @@
+package mfiblocks
+
+import (
+	"repro/internal/record"
+	"repro/internal/similarity"
+)
+
+// Block is one soft cluster: the maximal frequent itemset that induced it,
+// the records supporting it, and its score. Blocks may overlap.
+type Block struct {
+	// Key is the MFI (item ids into the run's dictionary) shared by all
+	// member records — the automatically discovered blocking key.
+	Key []int
+	// Members are positional record indices into the collection.
+	Members []int
+	// Score is the block's quality under the configured scoring
+	// function, in [0,1].
+	Score float64
+	// MinSup is the iteration (support level) that produced the block.
+	MinSup int
+}
+
+// Size returns the number of member records.
+func (b *Block) Size() int { return len(b.Members) }
+
+// Pairs appends all member pairs (as collection indices) to dst.
+func (b *Block) Pairs(dst [][2]int) [][2]int {
+	for i := 0; i < len(b.Members); i++ {
+		for j := i + 1; j < len(b.Members); j++ {
+			dst = append(dst, [2]int{b.Members[i], b.Members[j]})
+		}
+	}
+	return dst
+}
+
+// scorer computes block scores.
+type scorer struct {
+	cfg      *Config
+	dict     *record.Dictionary
+	encoded  [][]int // per-record sorted item ids
+	records  []*record.Record
+	itemSim  similarity.ItemSim
+	useFsim  bool
+	weighted bool
+}
+
+func newScorer(cfg *Config, dict *record.Dictionary, encoded [][]int, records []*record.Record) *scorer {
+	return &scorer{
+		cfg:      cfg,
+		dict:     dict,
+		encoded:  encoded,
+		records:  records,
+		itemSim:  similarity.ItemSim{Geo: cfg.Geo},
+		useFsim:  cfg.ExpertSim,
+		weighted: cfg.ExpertWeights,
+	}
+}
+
+// score returns the block's quality. The default is the (optionally
+// type-weighted) cluster Jaccard: weight of items shared by every member
+// over weight of items held by any member. This score is set-monotonic:
+// growing the cluster can only shrink it. The ExpertSim variant averages a
+// soft Jaccard built on fsim over all member pairs, which is not
+// set-monotonic (Section 6.5 discusses the consequences).
+func (s *scorer) score(members []int) float64 {
+	if len(members) < 2 {
+		return 0
+	}
+	if s.useFsim {
+		return s.softScore(members)
+	}
+	return s.clusterJaccard(members)
+}
+
+func (s *scorer) clusterJaccard(members []int) float64 {
+	inter := make(map[int]bool, len(s.encoded[members[0]]))
+	union := make(map[int]bool, len(s.encoded[members[0]]))
+	for _, id := range s.encoded[members[0]] {
+		inter[id] = true
+		union[id] = true
+	}
+	for _, m := range members[1:] {
+		cur := make(map[int]bool, len(s.encoded[m]))
+		for _, id := range s.encoded[m] {
+			cur[id] = true
+			union[id] = true
+		}
+		for id := range inter {
+			if !cur[id] {
+				delete(inter, id)
+			}
+		}
+	}
+	var wInter, wUnion float64
+	for id := range inter {
+		wInter += s.weight(id)
+	}
+	for id := range union {
+		wUnion += s.weight(id)
+	}
+	if wUnion == 0 {
+		return 0
+	}
+	return wInter / wUnion
+}
+
+func (s *scorer) weight(itemID int) float64 {
+	if !s.weighted {
+		return 1
+	}
+	return s.cfg.Weight(s.dict.TypeOf(itemID))
+}
+
+// softScore averages the pairwise soft Jaccard (greedy best-match under
+// fsim) over all member pairs.
+func (s *scorer) softScore(members []int) float64 {
+	var sum float64
+	n := 0
+	for i := 0; i < len(members); i++ {
+		for j := i + 1; j < len(members); j++ {
+			sum += s.softJaccard(s.records[members[i]], s.records[members[j]])
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// softJaccard greedily matches items of equal type across two records by
+// descending fsim and returns sum(sim) / (|a| + |b| - matched).
+func (s *scorer) softJaccard(a, b *record.Record) float64 {
+	type cand struct {
+		i, j int
+		sim  float64
+	}
+	var cands []cand
+	for i, ia := range a.Items {
+		for j, ib := range b.Items {
+			if ia.Type != ib.Type {
+				continue
+			}
+			if sim := s.itemSim.Compare(ia, ib); sim > 0 {
+				cands = append(cands, cand{i, j, sim})
+			}
+		}
+	}
+	// Greedy: repeatedly take the best remaining candidate.
+	usedA := make(map[int]bool)
+	usedB := make(map[int]bool)
+	var total float64
+	matched := 0
+	for len(cands) > 0 {
+		best := -1
+		for k, c := range cands {
+			if usedA[c.i] || usedB[c.j] {
+				continue
+			}
+			if best < 0 || c.sim > cands[best].sim {
+				best = k
+			}
+		}
+		if best < 0 {
+			break
+		}
+		c := cands[best]
+		usedA[c.i] = true
+		usedB[c.j] = true
+		total += c.sim
+		matched++
+		cands = append(cands[:best], cands[best+1:]...)
+	}
+	denom := float64(len(a.Items) + len(b.Items) - matched)
+	if denom <= 0 {
+		return 0
+	}
+	return total / denom
+}

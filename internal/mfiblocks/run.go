@@ -1,0 +1,209 @@
+package mfiblocks
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/fpgrowth"
+	"repro/internal/record"
+)
+
+// Result is the outcome of a run: the surviving soft blocks, the candidate
+// pairs they induce (with each pair's best block score as its similarity),
+// and coverage bookkeeping.
+type Result struct {
+	// Blocks are the surviving soft clusters across all iterations.
+	Blocks []*Block
+	// Pairs are the distinct candidate pairs, as BookID pairs.
+	Pairs []record.Pair
+	// PairScores maps each candidate pair to the best score among the
+	// blocks containing it — the pair's blocking similarity.
+	PairScores map[record.Pair]float64
+	// PairBlocks maps each candidate pair to the indices (into Blocks)
+	// of the blocks that produced it.
+	PairBlocks map[record.Pair][]int
+	// Covered marks, per collection index, whether the record appeared
+	// in any accepted pair.
+	Covered []bool
+	// Iterations records per-minsup statistics.
+	Iterations []IterationStats
+}
+
+// IterationStats captures one minsup level of Algorithm 1.
+type IterationStats struct {
+	MinSup     int
+	MFIs       int
+	Blocks     int     // blocks surviving all filters
+	NewPairs   int     // pairs first seen this iteration
+	CoveredNow int     // total records covered after the iteration
+	MinTh      float64 // score threshold after NG enforcement
+}
+
+// Run executes MFIBlocks over the collection.
+func Run(cfg Config, coll *record.Collection) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := coll.Len()
+	dict := record.BuildDictionary(coll)
+	encoded := make([][]int, n)
+	for i, r := range coll.Records {
+		encoded[i] = dict.Encode(r)
+	}
+	miner := fpgrowth.NewMiner(encoded)
+	if cfg.PruneFraction > 0 {
+		miner.Prune(dict.MostFrequent(cfg.PruneFraction))
+	}
+	index := miner.BuildIndex()
+	sc := newScorer(&cfg, dict, encoded, coll.Records)
+
+	res := &Result{
+		PairScores: make(map[record.Pair]float64),
+		PairBlocks: make(map[record.Pair][]int),
+		Covered:    make([]bool, n),
+	}
+	minTh := cfg.MinScore
+	coveredCount := 0
+	// Comparison budgets are cumulative over the whole run: NG bounds the
+	// total comparisons a record may participate in.
+	spent := make(map[int]int)
+
+	for minsup := cfg.MaxMinSup; minsup >= 2 && coveredCount < n; minsup-- {
+		// MFIs are mined over the still-uncovered records (Algorithm 1,
+		// line 6), but FindSupport materializes each block over the whole
+		// database: a covered record may still join a new block — only
+		// the search for new keys narrows as coverage grows.
+		active := make([]int, 0, n-coveredCount)
+		for i := 0; i < n; i++ {
+			if !res.Covered[i] {
+				active = append(active, i)
+			}
+		}
+
+		mfis := miner.MineMaximal(minsup, active)
+		blocks := buildBlocks(&cfg, sc, index, nil, mfis, minsup)
+
+		// Enforce the sparse-neighborhood condition for this iteration:
+		// every record admits blocks best-first while its distinct
+		// neighborhood stays within NG times the a-priori duplicate
+		// estimate (MaxMinSup); a block any member vetoes is pruned.
+		kept, iterTh := enforceNG(&cfg, blocks, spent)
+		minTh = math.Max(minTh, iterTh)
+
+		stats := IterationStats{MinSup: minsup, MFIs: len(mfis), MinTh: iterTh}
+		for _, b := range kept {
+			stats.Blocks++
+			bi := len(res.Blocks)
+			res.Blocks = append(res.Blocks, b)
+			for i := 0; i < len(b.Members); i++ {
+				for j := i + 1; j < len(b.Members); j++ {
+					mi, mj := b.Members[i], b.Members[j]
+					p := record.MakePair(coll.Records[mi].BookID, coll.Records[mj].BookID)
+					if _, seen := res.PairScores[p]; !seen {
+						res.Pairs = append(res.Pairs, p)
+						stats.NewPairs++
+					}
+					if b.Score > res.PairScores[p] {
+						res.PairScores[p] = b.Score
+					}
+					res.PairBlocks[p] = append(res.PairBlocks[p], bi)
+					for _, m := range []int{mi, mj} {
+						if !res.Covered[m] {
+							res.Covered[m] = true
+							coveredCount++
+						}
+					}
+				}
+			}
+		}
+		stats.CoveredNow = coveredCount
+		res.Iterations = append(res.Iterations, stats)
+	}
+	return res, nil
+}
+
+// buildBlocks materializes and scores the MFI supports in parallel,
+// dropping blocks that are too small (<2) or exceed the compact-set cap.
+func buildBlocks(cfg *Config, sc *scorer, index *fpgrowth.Index, mask []bool, mfis []fpgrowth.Itemset, minsup int) []*Block {
+	maxSize := int(float64(minsup) * cfg.P)
+	out := make([]*Block, len(mfis))
+	var wg sync.WaitGroup
+	workers := cfg.workers()
+	chunk := (len(mfis) + workers - 1) / workers
+	for w := 0; w < workers && w*chunk < len(mfis); w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(mfis) {
+			hi = len(mfis)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for k := lo; k < hi; k++ {
+				members := index.SupportSet(mfis[k].Items, mask)
+				if len(members) < 2 || len(members) > maxSize {
+					continue
+				}
+				out[k] = &Block{
+					Key:     mfis[k].Items,
+					Members: members,
+					Score:   sc.score(members),
+					MinSup:  minsup,
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	blocks := out[:0]
+	for _, b := range out {
+		if b != nil {
+			blocks = append(blocks, b)
+		}
+	}
+	return blocks
+}
+
+// enforceNG applies the sparse-neighborhood condition: blocks are
+// processed globally in descending score order; each record admits a block
+// only while its distinct neighborhood (records sharing an admitted block
+// with it) stays within NG*MaxMinSup, and a block vetoed by any member is
+// pruned. It also drops blocks scoring at or below MinScore. It returns
+// the surviving blocks (descending score) and the lowest surviving score
+// (the effective iteration threshold).
+func enforceNG(cfg *Config, blocks []*Block, spent map[int]int) (kept []*Block, minTh float64) {
+	limit := int(math.Ceil(cfg.NG * float64(cfg.MaxMinSup)))
+	if limit < 1 {
+		limit = 1
+	}
+	ordered := make([]*Block, len(blocks))
+	copy(ordered, blocks)
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].Score != ordered[j].Score {
+			return ordered[i].Score > ordered[j].Score
+		}
+		return ordered[i].Size() < ordered[j].Size()
+	})
+	minTh = cfg.MinScore
+	for _, b := range ordered {
+		if b.Score <= cfg.MinScore {
+			break // ordered by score: everything after is below too
+		}
+		cost := b.Size() - 1
+		veto := false
+		for _, m := range b.Members {
+			if spent[m]+cost > limit {
+				veto = true
+				break
+			}
+		}
+		if veto {
+			continue
+		}
+		for _, m := range b.Members {
+			spent[m] += cost
+		}
+		kept = append(kept, b)
+		minTh = b.Score
+	}
+	return kept, minTh
+}

@@ -1,0 +1,226 @@
+// Package probdb materializes the probabilistic-database view of
+// uncertain entity resolution (Section 3.2): pairwise comparisons are
+// retained as a same-as relation with match probabilities, and entities
+// are resolved only at query time — here by Monte-Carlo sampling over
+// possible worlds, where each world draws every same-as edge
+// independently and takes the transitive closure.
+//
+// The paper stops short of a probability distribution and keeps raw
+// ranked scores; this package is the natural extension it cites
+// (Andritsos et al.; Beskales et al.; Ioannou et al.): ADTree confidence
+// scores are calibrated into probabilities with a logistic map, enabling
+// queries such as "with what probability do these two reports describe
+// one person?" and "how many victims do these reports describe in
+// expectation?".
+package probdb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/record"
+)
+
+// Calibration maps a ranking score to a match probability.
+type Calibration struct {
+	// Scale is the logistic steepness: p = 1/(1+exp(-Scale*score)).
+	Scale float64
+}
+
+// NewCalibration returns the default logistic steepness, chosen so that
+// an ADTree score of +2 maps to ~0.88.
+func NewCalibration() Calibration { return Calibration{Scale: 1.0} }
+
+// Prob maps a score to (0,1).
+func (c Calibration) Prob(score float64) float64 {
+	s := c.Scale
+	if s == 0 {
+		s = 1
+	}
+	return 1 / (1 + math.Exp(-s*score))
+}
+
+// Edge is one same-as fact.
+type Edge struct {
+	Pair record.Pair
+	Prob float64
+}
+
+// Store holds the same-as relation over a fixed record universe.
+type Store struct {
+	ids   []int64
+	index map[int64]int
+	edges []Edge
+}
+
+// New builds a store over the record universe. Edges are added with Add.
+func New(ids []int64) *Store {
+	s := &Store{ids: append([]int64(nil), ids...), index: make(map[int64]int, len(ids))}
+	sort.Slice(s.ids, func(i, j int) bool { return s.ids[i] < s.ids[j] })
+	for i, id := range s.ids {
+		s.index[id] = i
+	}
+	return s
+}
+
+// Add records a same-as edge. Probabilities are clamped to [0,1]; edges
+// touching unknown records or self-pairs are rejected.
+func (s *Store) Add(p record.Pair, prob float64) error {
+	if _, ok := s.index[p.A]; !ok {
+		return fmt.Errorf("probdb: unknown record %d", p.A)
+	}
+	if _, ok := s.index[p.B]; !ok {
+		return fmt.Errorf("probdb: unknown record %d", p.B)
+	}
+	if p.A == p.B {
+		return fmt.Errorf("probdb: self edge %d", p.A)
+	}
+	if prob < 0 {
+		prob = 0
+	}
+	if prob > 1 {
+		prob = 1
+	}
+	s.edges = append(s.edges, Edge{Pair: p, Prob: prob})
+	return nil
+}
+
+// Len returns the number of records; Edges the same-as facts.
+func (s *Store) Len() int      { return len(s.ids) }
+func (s *Store) Edges() []Edge { return s.edges }
+
+// DirectProb returns the stored probability of the pair (the maximum over
+// duplicate edges), or 0.
+func (s *Store) DirectProb(p record.Pair) float64 {
+	best := 0.0
+	for _, e := range s.edges {
+		if e.Pair == p && e.Prob > best {
+			best = e.Prob
+		}
+	}
+	return best
+}
+
+// World samples one possible world: every edge is drawn independently,
+// and the world's entities are the transitive closure. It returns the
+// root index per record.
+func (s *Store) World(rng *rand.Rand) []int {
+	parent := make([]int, len(s.ids))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for _, e := range s.edges {
+		if rng.Float64() < e.Prob {
+			ra, rb := find(s.index[e.Pair.A]), find(s.index[e.Pair.B])
+			if ra != rb {
+				if ra > rb {
+					ra, rb = rb, ra
+				}
+				parent[rb] = ra
+			}
+		}
+	}
+	for i := range parent {
+		parent[i] = find(i)
+	}
+	return parent
+}
+
+// SameEntityProb estimates, over `samples` possible worlds, the
+// probability that the two records resolve to the same entity — including
+// transitively, which DirectProb cannot see.
+func (s *Store) SameEntityProb(a, b int64, samples int, seed int64) (float64, error) {
+	ia, ok := s.index[a]
+	if !ok {
+		return 0, fmt.Errorf("probdb: unknown record %d", a)
+	}
+	ib, ok := s.index[b]
+	if !ok {
+		return 0, fmt.Errorf("probdb: unknown record %d", b)
+	}
+	if samples < 1 {
+		samples = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	hits := 0
+	for k := 0; k < samples; k++ {
+		w := s.World(rng)
+		if w[ia] == w[ib] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(samples), nil
+}
+
+// ExpectedEntities estimates the expected number of distinct entities —
+// the paper's deterministic-answer use case ("the number of people
+// perished ... requires a single deterministic answer") served from the
+// uncertain relation.
+func (s *Store) ExpectedEntities(samples int, seed int64) float64 {
+	if samples < 1 {
+		samples = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	total := 0
+	for k := 0; k < samples; k++ {
+		w := s.World(rng)
+		roots := make(map[int]struct{})
+		for _, r := range w {
+			roots[r] = struct{}{}
+		}
+		total += len(roots)
+	}
+	return float64(total) / float64(samples)
+}
+
+// MostLikelyWorld returns the single crisp clustering that accepts
+// exactly the edges with probability > 0.5 — the maximum-probability
+// world under edge independence — as groups of BookIDs.
+func (s *Store) MostLikelyWorld() [][]int64 {
+	parent := make([]int, len(s.ids))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for _, e := range s.edges {
+		if e.Prob > 0.5 {
+			ra, rb := find(s.index[e.Pair.A]), find(s.index[e.Pair.B])
+			if ra != rb {
+				if ra > rb {
+					ra, rb = rb, ra
+				}
+				parent[rb] = ra
+			}
+		}
+	}
+	groups := make(map[int][]int64)
+	for i, id := range s.ids {
+		root := find(i)
+		groups[root] = append(groups[root], id)
+	}
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	out := make([][]int64, 0, len(groups))
+	for _, r := range roots {
+		out = append(out, groups[r])
+	}
+	return out
+}

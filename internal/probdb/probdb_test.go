@@ -1,0 +1,147 @@
+package probdb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/record"
+)
+
+func TestCalibration(t *testing.T) {
+	c := NewCalibration()
+	if p := c.Prob(0); math.Abs(p-0.5) > 1e-12 {
+		t.Errorf("Prob(0) = %v, want 0.5", p)
+	}
+	if c.Prob(5) <= c.Prob(1) || c.Prob(-5) >= c.Prob(-1) {
+		t.Error("calibration not monotone")
+	}
+	f := func(score float64) bool {
+		p := c.Prob(score)
+		// Extreme scores saturate to exactly 0 or 1 in float64.
+		return p >= 0 && p <= 1 && !math.IsNaN(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Moderate scores stay strictly inside (0,1).
+	for _, score := range []float64{-20, -2, 0, 2, 20} {
+		if p := c.Prob(score); p <= 0 || p >= 1 {
+			t.Errorf("Prob(%v) = %v, want in (0,1)", score, p)
+		}
+	}
+	// Zero scale falls back to 1.
+	z := Calibration{}
+	if p := z.Prob(1); p <= 0.5 {
+		t.Errorf("zero-scale Prob(1) = %v", p)
+	}
+}
+
+func storeFixture(t *testing.T) *Store {
+	t.Helper()
+	s := New([]int64{1, 2, 3, 4})
+	mustAdd := func(a, b int64, p float64) {
+		t.Helper()
+		if err := s.Add(record.MakePair(a, b), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd(1, 2, 0.9)
+	mustAdd(2, 3, 0.9)
+	mustAdd(3, 4, 0.05)
+	return s
+}
+
+func TestAddValidation(t *testing.T) {
+	s := New([]int64{1, 2})
+	if err := s.Add(record.MakePair(1, 9), 0.5); err == nil {
+		t.Error("unknown record accepted")
+	}
+	if err := s.Add(record.Pair{A: 1, B: 1}, 0.5); err == nil {
+		t.Error("self edge accepted")
+	}
+	if err := s.Add(record.MakePair(1, 2), 7); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.DirectProb(record.MakePair(1, 2)); got != 1 {
+		t.Errorf("clamped prob = %v", got)
+	}
+}
+
+func TestSameEntityProbTransitive(t *testing.T) {
+	s := storeFixture(t)
+	// Direct edge 1-3 does not exist...
+	if got := s.DirectProb(record.MakePair(1, 3)); got != 0 {
+		t.Errorf("DirectProb(1,3) = %v", got)
+	}
+	// ...but transitively P(1~3) ≈ 0.81.
+	p, err := s.SameEntityProb(1, 3, 4000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.81) > 0.05 {
+		t.Errorf("P(1~3) = %v, want ~0.81", p)
+	}
+	// The weak 3-4 edge stays weak.
+	p, err = s.SameEntityProb(1, 4, 4000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 0.15 {
+		t.Errorf("P(1~4) = %v, want small", p)
+	}
+	if _, err := s.SameEntityProb(1, 99, 10, 1); err == nil {
+		t.Error("unknown record accepted")
+	}
+}
+
+func TestExpectedEntities(t *testing.T) {
+	s := storeFixture(t)
+	got := s.ExpectedEntities(4000, 11)
+	// Analytic: E[#entities] = 4 - P(1-2) - P(2-3) - P(3-4 merges)
+	// Approximately: with independent edges over a path graph, expected
+	// merges = sum of edge probs (no cycles) = 0.9+0.9+0.05 = 1.85.
+	want := 4 - 1.85
+	if math.Abs(got-want) > 0.1 {
+		t.Errorf("ExpectedEntities = %v, want ~%v", got, want)
+	}
+}
+
+func TestWorldClosure(t *testing.T) {
+	s := New([]int64{1, 2, 3})
+	if err := s.Add(record.MakePair(1, 2), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(record.MakePair(2, 3), 1); err != nil {
+		t.Fatal(err)
+	}
+	w := s.World(rand.New(rand.NewSource(1)))
+	if w[0] != w[1] || w[1] != w[2] {
+		t.Errorf("certain edges must close transitively: %v", w)
+	}
+}
+
+func TestMostLikelyWorld(t *testing.T) {
+	s := storeFixture(t)
+	groups := s.MostLikelyWorld()
+	// Edges > 0.5: 1-2 and 2-3 -> {1,2,3}, {4}.
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if len(groups[0]) != 3 || groups[0][0] != 1 {
+		t.Errorf("first group = %v", groups[0])
+	}
+	if len(groups[1]) != 1 || groups[1][0] != 4 {
+		t.Errorf("second group = %v", groups[1])
+	}
+}
+
+func TestSamplingDeterministicUnderSeed(t *testing.T) {
+	s := storeFixture(t)
+	a, _ := s.SameEntityProb(1, 3, 500, 42)
+	b, _ := s.SameEntityProb(1, 3, 500, 42)
+	if a != b {
+		t.Errorf("same seed gave %v vs %v", a, b)
+	}
+}

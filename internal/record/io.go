@@ -1,0 +1,87 @@
+package record
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// jsonRecord is the wire form of a record: items are flattened to
+// "prefix:value" keys so the encoding is stable across ItemType renumbering.
+type jsonRecord struct {
+	BookID int64    `json:"book_id"`
+	Source string   `json:"source"`
+	Kind   string   `json:"kind"`
+	Items  []string `json:"items"`
+}
+
+// WriteJSONL writes records as JSON Lines, one record per line.
+func WriteJSONL(w io.Writer, records []*Record) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range records {
+		jr := jsonRecord{
+			BookID: r.BookID,
+			Source: r.Source,
+			Kind:   r.Kind.String(),
+			Items:  make([]string, len(r.Items)),
+		}
+		for i, it := range r.Items {
+			jr.Items[i] = it.Key()
+		}
+		if err := enc.Encode(&jr); err != nil {
+			return fmt.Errorf("record: encode %d: %w", r.BookID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL reads records written by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]*Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var records []*Record
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var jr jsonRecord
+		if err := json.Unmarshal([]byte(text), &jr); err != nil {
+			return nil, fmt.Errorf("record: line %d: %w", line, err)
+		}
+		rec := &Record{BookID: jr.BookID, Source: jr.Source}
+		if jr.Kind == List.String() {
+			rec.Kind = List
+		}
+		for _, key := range jr.Items {
+			it, err := ParseItemKey(key)
+			if err != nil {
+				return nil, fmt.Errorf("record: line %d: %w", line, err)
+			}
+			rec.Items = append(rec.Items, it)
+		}
+		records = append(records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return records, nil
+}
+
+// ParseItemKey parses a canonical "prefix:value" item key.
+func ParseItemKey(key string) (Item, error) {
+	i := strings.IndexByte(key, ':')
+	if i < 0 {
+		return Item{}, fmt.Errorf("record: malformed item key %q", key)
+	}
+	t, ok := TypeForPrefix(key[:i])
+	if !ok {
+		return Item{}, fmt.Errorf("record: unknown item prefix %q", key[:i])
+	}
+	return Item{Type: t, Value: key[i+1:]}, nil
+}

@@ -1,0 +1,30 @@
+package record
+
+// Pair is an unordered record pair in canonical order (A < B). Use MakePair
+// to construct one so map keys compare correctly.
+type Pair struct {
+	A, B int64
+}
+
+// MakePair returns the canonical pair of two BookIDs.
+func MakePair(a, b int64) Pair {
+	if a > b {
+		a, b = b, a
+	}
+	return Pair{A: a, B: b}
+}
+
+// Contains reports whether the pair involves the given BookID.
+func (p Pair) Contains(id int64) bool { return p.A == id || p.B == id }
+
+// Other returns the pair member that is not id; ok is false when id is not
+// in the pair.
+func (p Pair) Other(id int64) (int64, bool) {
+	switch id {
+	case p.A:
+		return p.B, true
+	case p.B:
+		return p.A, true
+	}
+	return 0, false
+}

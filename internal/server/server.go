@@ -1,0 +1,240 @@
+// Package server exposes a resolved collection over HTTP — the paper's
+// deployment surface: "a person searching for perished relatives can
+// control the size of the response by tuning a certainty parameter in a
+// Web-query interface", while "a user app relaying historical
+// information ... requires a single deterministic answer".
+//
+// Endpoints (all JSON):
+//
+//	GET /api/search?first=&last=&certainty=0.3   relative search
+//	GET /api/entity?book=1016196&certainty=0.3   the report's entity
+//	GET /api/narrative?book=1016196&certainty=0.3 the entity's narrative
+//	GET /api/stats                               collection statistics
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/narrative"
+	"repro/internal/record"
+)
+
+// Server serves one resolution.
+type Server struct {
+	res  *core.Resolution
+	coll *record.Collection
+	mux  *http.ServeMux
+	// DefaultCertainty applies when the query omits the parameter.
+	DefaultCertainty float64
+	// MaxResults caps search responses.
+	MaxResults int
+}
+
+// New builds a server over a finished resolution. The collection is the
+// one the resolution was computed over (used for narratives, which want
+// the raw values).
+func New(res *core.Resolution, coll *record.Collection) *Server {
+	s := &Server{
+		res:              res,
+		coll:             coll,
+		mux:              http.NewServeMux(),
+		DefaultCertainty: 0.0,
+		MaxResults:       50,
+	}
+	s.mux.HandleFunc("GET /api/search", s.handleSearch)
+	s.mux.HandleFunc("GET /api/entity", s.handleEntity)
+	s.mux.HandleFunc("GET /api/narrative", s.handleNarrative)
+	s.mux.HandleFunc("GET /api/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// entityJSON is the wire form of a resolved entity.
+type entityJSON struct {
+	Reports   []int64             `json:"reports"`
+	Name      string              `json:"name"`
+	Values    map[string][]string `json:"values"`
+	Narrative string              `json:"narrative,omitempty"`
+}
+
+func toJSON(e *core.Entity, withNarrative bool) entityJSON {
+	out := entityJSON{Reports: e.Reports, Values: make(map[string][]string)}
+	first, _ := e.Best(record.FirstName)
+	last, _ := e.Best(record.LastName)
+	out.Name = first
+	if last != "" {
+		if out.Name != "" {
+			out.Name += " "
+		}
+		out.Name += last
+	}
+	for t, vs := range e.Values {
+		for _, v := range vs {
+			out.Values[t.String()] = append(out.Values[t.String()], v.Value)
+		}
+	}
+	if withNarrative {
+		out.Narrative = e.Narrative()
+	}
+	return out
+}
+
+func (s *Server) certainty(r *http.Request) (float64, error) {
+	raw := r.URL.Query().Get("certainty")
+	if raw == "" {
+		return s.DefaultCertainty, nil
+	}
+	c, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad certainty %q", raw)
+	}
+	return c, nil
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	certainty, err := s.certainty(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	q := core.Query{
+		First:     r.URL.Query().Get("first"),
+		Last:      r.URL.Query().Get("last"),
+		Certainty: certainty,
+	}
+	if q.First == "" && q.Last == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("need first or last"))
+		return
+	}
+	hits := s.res.Search(q)
+	truncated := false
+	if len(hits) > s.MaxResults {
+		hits = hits[:s.MaxResults]
+		truncated = true
+	}
+	out := struct {
+		Certainty float64      `json:"certainty"`
+		Truncated bool         `json:"truncated"`
+		Entities  []entityJSON `json:"entities"`
+	}{Certainty: q.Certainty, Truncated: truncated}
+	for _, e := range hits {
+		out.Entities = append(out.Entities, toJSON(e, false))
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) bookEntity(w http.ResponseWriter, r *http.Request) (*core.Entity, bool) {
+	certainty, err := s.certainty(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return nil, false
+	}
+	book, err := strconv.ParseInt(r.URL.Query().Get("book"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad book id"))
+		return nil, false
+	}
+	e, ok := s.res.EntityOf(book, certainty)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("report %d not found", book))
+		return nil, false
+	}
+	return e, true
+}
+
+func (s *Server) handleEntity(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.bookEntity(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, toJSON(e, true))
+}
+
+func (s *Server) handleNarrative(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.bookEntity(w, r)
+	if !ok {
+		return
+	}
+	nb := &narrative.Builder{Coll: s.coll}
+	first, _ := e.Best(record.FirstName)
+	last, _ := e.Best(record.LastName)
+	n := nb.Build(first+" "+last, e.Reports)
+
+	type eventJSON struct {
+		Kind         string   `json:"kind"`
+		Text         string   `json:"text"`
+		Confidence   float64  `json:"confidence"`
+		Support      []int64  `json:"support"`
+		Alternatives []string `json:"alternatives,omitempty"`
+	}
+	out := struct {
+		Subject string      `json:"subject"`
+		Reports []int64     `json:"reports"`
+		Events  []eventJSON `json:"events"`
+	}{Subject: n.Subject, Reports: n.Reports}
+	for _, ev := range n.Events {
+		ej := eventJSON{
+			Kind:       ev.Kind.String(),
+			Text:       ev.Text,
+			Confidence: ev.Confidence,
+			Support:    ev.Support,
+		}
+		for _, alt := range ev.Alternatives {
+			ej.Alternatives = append(ej.Alternatives, alt.Text)
+		}
+		out.Events = append(out.Events, ej)
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	certainty, err := s.certainty(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	ents := s.res.Clusters(certainty)
+	multi := 0
+	for _, e := range ents {
+		if len(e.Reports) > 1 {
+			multi++
+		}
+	}
+	writeJSON(w, struct {
+		Records     int     `json:"records"`
+		Matches     int     `json:"ranked_matches"`
+		Certainty   float64 `json:"certainty"`
+		Entities    int     `json:"entities"`
+		MultiReport int     `json:"multi_report_entities"`
+	}{
+		Records:     s.coll.Len(),
+		Matches:     len(s.res.Matches),
+		Certainty:   certainty,
+		Entities:    len(ents),
+		MultiReport: multi,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// Headers are gone; nothing more to do than log-less best effort.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}) //nolint:errcheck
+}

@@ -1,0 +1,45 @@
+package similarity
+
+import (
+	"testing"
+
+	"repro/internal/record"
+)
+
+func BenchmarkJaro(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Jaro("Capelluto", "Capeluto")
+	}
+}
+
+func BenchmarkJaroWinkler(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		JaroWinkler("Rosenthal", "Rosenthol")
+	}
+}
+
+func BenchmarkLevenshtein(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Levenshtein("Mandelbaum", "Mandelboim")
+	}
+}
+
+func BenchmarkJaccardQGrams(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		JaccardQGrams("Ottolenghi", "Ottolengi", 2)
+	}
+}
+
+func BenchmarkItemSimGeo(b *testing.B) {
+	s := ItemSim{Geo: fakeGeo{km: 9}}
+	x := record.Item{Type: record.BirthCity, Value: "Torino"}
+	y := record.Item{Type: record.BirthCity, Value: "Moncalieri"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Compare(x, y)
+	}
+}

@@ -1,0 +1,227 @@
+package similarity
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/record"
+)
+
+func randWord(rng *rand.Rand) string {
+	n := 1 + rng.Intn(10)
+	b := make([]rune, n)
+	for i := range b {
+		b[i] = rune('a' + rng.Intn(6))
+	}
+	return string(b)
+}
+
+func TestJaroKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"MARTHA", "MARHTA", 0.944444},
+		{"DIXON", "DICKSONX", 0.766667},
+		{"JELLYFISH", "SMELLYFISH", 0.896296},
+	}
+	for _, c := range cases {
+		if got := Jaro(c.a, c.b); math.Abs(got-c.want) > 1e-5 {
+			t.Errorf("Jaro(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaroWinklerKnownValues(t *testing.T) {
+	if got := JaroWinkler("MARTHA", "MARHTA"); math.Abs(got-0.961111) > 1e-5 {
+		t.Errorf("JaroWinkler(MARTHA,MARHTA) = %v", got)
+	}
+	if got := JaroWinkler("Bella", "Della"); got <= 0.8 || got >= 1 {
+		t.Errorf("JaroWinkler(Bella,Della) = %v, want in (0.8,1)", got)
+	}
+}
+
+func TestStringSimilarityProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randWord(rng), randWord(rng)
+		for _, fn := range []func(string, string) float64{Jaro, JaroWinkler, JaccardTokens} {
+			s := fn(a, b)
+			if s < 0 || s > 1 {
+				return false
+			}
+			if math.Abs(fn(a, b)-fn(b, a)) > 1e-12 {
+				return false
+			}
+			if fn(a, a) != 1 {
+				return false
+			}
+		}
+		q := JaccardQGrams(a, b, 2)
+		if q < 0 || q > 1 || JaccardQGrams(a, a, 2) != 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyStringEdges(t *testing.T) {
+	if Jaro("", "") != 1 || JaroWinkler("", "") != 1 {
+		t.Error("empty-empty should be 1")
+	}
+	if Jaro("", "abc") != 0 || Jaro("abc", "") != 0 {
+		t.Error("empty vs non-empty should be 0")
+	}
+}
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"kitten", "sitting", 3},
+		{"Bella", "Della", 1},
+		{"flaw", "lawn", 2},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinTriangle(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		a, b, c := randWord(rng), randWord(rng), randWord(rng)
+		if Levenshtein(a, c) > Levenshtein(a, b)+Levenshtein(b, c) {
+			t.Fatalf("triangle violated for %q %q %q", a, b, c)
+		}
+	}
+}
+
+func TestJaccardIntSets(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want float64
+	}{
+		{nil, nil, 1},
+		{[]int{1}, nil, 0},
+		{[]int{1, 2, 3}, []int{2, 3, 4}, 0.5},
+		{[]int{1, 2}, []int{1, 2}, 1},
+		{[]int{1}, []int{2}, 0},
+	}
+	for _, c := range cases {
+		if got := JaccardIntSets(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("JaccardIntSets(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestQGramsPadding(t *testing.T) {
+	g := QGrams("ab", 2)
+	for _, want := range []string{"#a", "ab", "b#"} {
+		if _, ok := g[want]; !ok {
+			t.Errorf("QGrams(ab,2) missing %q: %v", want, g)
+		}
+	}
+}
+
+func TestDateDist(t *testing.T) {
+	if d, ok := DateDist("1920", "1936"); !ok || d != 16 {
+		t.Errorf("DateDist(1920,1936) = %v, %v", d, ok)
+	}
+	if _, ok := DateDist("19x0", "1936"); ok {
+		t.Error("unparseable date must fail")
+	}
+}
+
+type fakeGeo struct{ km float64 }
+
+func (f fakeGeo) Distance(a, b string) (float64, bool) {
+	if a == "unknown" || b == "unknown" {
+		return 0, false
+	}
+	if a == b {
+		return 0, true
+	}
+	return f.km, true
+}
+
+func TestItemSimEq1(t *testing.T) {
+	s := ItemSim{Geo: fakeGeo{km: 9}}
+	item := func(ty record.ItemType, v string) record.Item { return record.Item{Type: ty, Value: v} }
+
+	// Different types are dissimilar.
+	if got := s.Compare(item(record.FirstName, "Guido"), item(record.LastName, "Guido")); got != 0 {
+		t.Errorf("cross-type sim = %v", got)
+	}
+	// Names use Jaro-Winkler.
+	if got := s.Compare(item(record.FirstName, "Guido"), item(record.FirstName, "Guido")); got != 1 {
+		t.Errorf("same-name sim = %v", got)
+	}
+	// Years: 1 - diff/50.
+	if got := s.Compare(item(record.BirthYear, "1920"), item(record.BirthYear, "1930")); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("year sim = %v, want 0.8", got)
+	}
+	// Months: 1 - diff/12.
+	if got := s.Compare(item(record.BirthMonth, "1"), item(record.BirthMonth, "7")); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("month sim = %v, want 0.5", got)
+	}
+	// Days: 1 - diff/31.
+	if got := s.Compare(item(record.BirthDay, "1"), item(record.BirthDay, "32")); math.Abs(got-0) > 1e-12 {
+		t.Errorf("day sim = %v, want 0", got)
+	}
+	// Geo: max(0, 1 - km/100) over cities.
+	if got := s.Compare(item(record.BirthCity, "Torino"), item(record.BirthCity, "Moncalieri")); math.Abs(got-0.91) > 1e-12 {
+		t.Errorf("geo sim = %v, want 0.91", got)
+	}
+	// Unknown city falls back to exact match.
+	if got := s.Compare(item(record.BirthCity, "unknown"), item(record.BirthCity, "unknown")); got != 1 {
+		t.Errorf("unknown-city exact fallback = %v", got)
+	}
+	// Non-city place parts use exact match.
+	if got := s.Compare(item(record.BirthCountry, "Italy"), item(record.BirthCountry, "Italy")); got != 1 {
+		t.Errorf("country exact = %v", got)
+	}
+	// Unparseable years score 0.
+	if got := s.Compare(item(record.BirthYear, "abc"), item(record.BirthYear, "1930")); got != 0 {
+		t.Errorf("bad year sim = %v", got)
+	}
+	// Gender codes exact.
+	if got := s.Compare(item(record.Gender, "0"), item(record.Gender, "1")); got != 0 {
+		t.Errorf("gender mismatch sim = %v", got)
+	}
+}
+
+func TestItemSimNilGeoFallsBack(t *testing.T) {
+	s := ItemSim{}
+	a := record.Item{Type: record.BirthCity, Value: "Torino"}
+	b := record.Item{Type: record.BirthCity, Value: "Torino"}
+	if got := s.Compare(a, b); got != 1 {
+		t.Errorf("nil-geo same city = %v", got)
+	}
+}
+
+func TestItemSimRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := ItemSim{Geo: fakeGeo{km: rng.Float64() * 300}}
+		types := []record.ItemType{record.FirstName, record.BirthYear, record.BirthMonth, record.BirthDay, record.BirthCity, record.Gender}
+		ty := types[rng.Intn(len(types))]
+		a := record.Item{Type: ty, Value: randWord(rng)}
+		b := record.Item{Type: ty, Value: randWord(rng)}
+		got := s.Compare(a, b)
+		return got >= 0 && got <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,195 @@
+// Package similarity implements the string, date, and geographic similarity
+// measures the paper's pipeline relies on: Jaro and Jaro–Winkler, Jaccard
+// over tokens and q-grams, Levenshtein, normalized birth-date component
+// distances, and the expert item similarity of Eq. 1.
+package similarity
+
+import (
+	"sort"
+	"strings"
+)
+
+// Jaro returns the Jaro similarity of two strings in [0,1]. Empty strings
+// are similar (1) to each other and dissimilar (0) to non-empty strings.
+func Jaro(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := max(la, lb)/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchA := make([]bool, la)
+	matchB := make([]bool, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := max(0, i-window)
+		hi := min(lb-1, i+window)
+		for j := lo; j <= hi; j++ {
+			if !matchB[j] && ra[i] == rb[j] {
+				matchA[i], matchB[j] = true, true
+				matches++
+				break
+			}
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Count transpositions between the matched subsequences.
+	transpositions := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !matchA[i] {
+			continue
+		}
+		for !matchB[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			transpositions++
+		}
+		j++
+	}
+	m := float64(matches)
+	t := float64(transpositions) / 2
+	return (m/float64(la) + m/float64(lb) + (m-t)/m) / 3
+}
+
+// JaroWinkler returns the Jaro–Winkler similarity with the standard prefix
+// scale 0.1 and prefix cap 4.
+func JaroWinkler(a, b string) float64 {
+	const (
+		prefixScale = 0.1
+		prefixCap   = 4
+	)
+	j := Jaro(a, b)
+	ra, rb := []rune(a), []rune(b)
+	l := 0
+	for l < len(ra) && l < len(rb) && l < prefixCap && ra[l] == rb[l] {
+		l++
+	}
+	return j + float64(l)*prefixScale*(1-j)
+}
+
+// Levenshtein returns the edit distance between two strings.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min(min(cur[j-1]+1, prev[j]+1), prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// JaccardTokens returns the Jaccard coefficient of the whitespace-token
+// sets of two strings, case-insensitive.
+func JaccardTokens(a, b string) float64 {
+	return jaccard(tokenSet(a), tokenSet(b))
+}
+
+func tokenSet(s string) map[string]struct{} {
+	set := make(map[string]struct{})
+	for _, tok := range strings.Fields(strings.ToLower(s)) {
+		set[tok] = struct{}{}
+	}
+	return set
+}
+
+// QGrams returns the padded q-gram multiset of a string as a set of
+// distinct grams (padding with q-1 '#' on both sides, lowercased).
+func QGrams(s string, q int) map[string]struct{} {
+	if q < 1 {
+		q = 1
+	}
+	pad := strings.Repeat("#", q-1)
+	padded := pad + strings.ToLower(s) + pad
+	rs := []rune(padded)
+	set := make(map[string]struct{})
+	for i := 0; i+q <= len(rs); i++ {
+		set[string(rs[i:i+q])] = struct{}{}
+	}
+	return set
+}
+
+// JaccardQGrams returns the Jaccard coefficient of two strings' q-gram
+// sets.
+func JaccardQGrams(a, b string, q int) float64 {
+	return jaccard(QGrams(a, q), QGrams(b, q))
+}
+
+func jaccard(a, b map[string]struct{}) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	for k := range a {
+		if _, ok := b[k]; ok {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(a)+len(b)-inter)
+}
+
+// JaccardIntSets returns the Jaccard coefficient of two sorted int slices.
+// Both must be strictly increasing.
+func JaccardIntSets(a, b []int) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			inter++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return float64(inter) / float64(len(a)+len(b)-inter)
+}
+
+// QGramsList returns the distinct padded q-grams of a string as an
+// ordered slice (same grams as QGrams).
+func QGramsList(s string, q int) []string {
+	set := QGrams(s, q)
+	out := make([]string, 0, len(set))
+	for g := range set {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,322 @@
+// Package sources exploits knowledge about record sources — the paper's
+// first open question ("How can we exploit implicit and explicit
+// knowledge about record sources in the multi-source setting?"). It
+// provides two tools:
+//
+//   - Submitter entity resolution: the Names Project identifies testimony
+//     submitters only by first name, last name, and city, yielding 514,251
+//     nominally distinct submitters with obvious duplicates (misspellings,
+//     nicknames, transliterations). DedupSubmitters clusters them.
+//
+//   - Source profiling: per source (victim list or resolved submitter),
+//     volume, field richness, and an agreement-based reliability score
+//     computed from how often the source's records agree with matched
+//     records from other sources.
+package sources
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/names"
+	"repro/internal/record"
+	"repro/internal/similarity"
+)
+
+// Submitter is one parsed testimony submitter identity.
+type Submitter struct {
+	// Key is the raw source string ("submitter:First Last:City").
+	Key string
+	// First, Last, City are the parsed identity parts.
+	First, Last, City string
+	// Records counts the reports filed under this key.
+	Records int
+}
+
+// ParseSubmitter parses a testimony source key. ok is false for list
+// sources or malformed keys.
+func ParseSubmitter(source string) (Submitter, bool) {
+	const prefix = "submitter:"
+	if !strings.HasPrefix(source, prefix) {
+		return Submitter{}, false
+	}
+	rest := source[len(prefix):]
+	i := strings.LastIndexByte(rest, ':')
+	if i < 0 {
+		return Submitter{}, false
+	}
+	name, city := rest[:i], rest[i+1:]
+	first, last := name, ""
+	if j := strings.IndexByte(name, ' '); j >= 0 {
+		first, last = name[:j], name[j+1:]
+	}
+	return Submitter{Key: source, First: first, Last: last, City: city}, true
+}
+
+// DedupConfig tunes submitter resolution.
+type DedupConfig struct {
+	// NameThreshold is the minimal Jaro-Winkler similarity between full
+	// names for two submitters to merge (first names are additionally
+	// folded through the nickname classes). Default 0.92.
+	NameThreshold float64
+	// SameCity requires matching cities; when false, city similarity is
+	// folded into the name comparison. Default true.
+	SameCity bool
+}
+
+// NewDedupConfig returns the defaults.
+func NewDedupConfig() DedupConfig {
+	return DedupConfig{NameThreshold: 0.92, SameCity: true}
+}
+
+// SubmitterCluster is one resolved submitter: the member keys and a
+// canonical representative (the member with the most records).
+type SubmitterCluster struct {
+	Canonical Submitter
+	Members   []Submitter
+	// Records is the total report count across members.
+	Records int
+}
+
+// DedupSubmitters parses every testimony source in the collection and
+// clusters duplicate submitter identities. List sources are ignored.
+func DedupSubmitters(cfg DedupConfig, coll *record.Collection) []SubmitterCluster {
+	if cfg.NameThreshold == 0 {
+		cfg.NameThreshold = 0.92
+	}
+	// Gather distinct submitters with record counts.
+	byKey := make(map[string]*Submitter)
+	var order []string
+	for _, r := range coll.Records {
+		s, ok := ParseSubmitter(r.Source)
+		if !ok {
+			continue
+		}
+		if existing, dup := byKey[s.Key]; dup {
+			existing.Records++
+			continue
+		}
+		s.Records = 1
+		byKey[s.Key] = &s
+		order = append(order, s.Key)
+	}
+	sort.Strings(order)
+
+	// Block by (city, folded-first-name initial + last-name initial):
+	// submitters in different cities never merge under SameCity.
+	type blockKey struct {
+		city    string
+		initial string
+	}
+	blocks := make(map[blockKey][]*Submitter)
+	for _, k := range order {
+		s := byKey[k]
+		bk := blockKey{initial: initials(s)}
+		if cfg.SameCity {
+			bk.city = strings.ToLower(s.City)
+		}
+		blocks[bk] = append(blocks[bk], s)
+	}
+
+	// Union-find over pairwise comparisons within blocks.
+	parent := make(map[string]string, len(byKey))
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] == "" {
+			parent[x] = x
+		}
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(a, b string) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	for _, members := range blocks {
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				if sameSubmitter(cfg, members[i], members[j]) {
+					union(members[i].Key, members[j].Key)
+				}
+			}
+		}
+	}
+
+	groups := make(map[string][]*Submitter)
+	for _, k := range order {
+		root := find(k)
+		groups[root] = append(groups[root], byKey[k])
+	}
+	roots := make([]string, 0, len(groups))
+	for root := range groups {
+		roots = append(roots, root)
+	}
+	sort.Strings(roots)
+
+	out := make([]SubmitterCluster, 0, len(groups))
+	for _, root := range roots {
+		members := groups[root]
+		cl := SubmitterCluster{}
+		for _, m := range members {
+			cl.Members = append(cl.Members, *m)
+			cl.Records += m.Records
+			if m.Records > cl.Canonical.Records ||
+				(m.Records == cl.Canonical.Records && m.Key < cl.Canonical.Key) {
+				cl.Canonical = *m
+			}
+		}
+		out = append(out, cl)
+	}
+	return out
+}
+
+func initials(s *Submitter) string {
+	first := names.Canonical(s.First)
+	f, l := "", ""
+	if first != "" {
+		f = strings.ToLower(first[:1])
+	}
+	if s.Last != "" {
+		l = strings.ToLower(s.Last[:1])
+	}
+	return f + l
+}
+
+func sameSubmitter(cfg DedupConfig, a, b *Submitter) bool {
+	if cfg.SameCity && !strings.EqualFold(a.City, b.City) {
+		return false
+	}
+	// First names fold through equivalence classes.
+	firstA, firstB := names.Canonical(a.First), names.Canonical(b.First)
+	firstSim := similarity.JaroWinkler(strings.ToLower(firstA), strings.ToLower(firstB))
+	lastSim := similarity.JaroWinkler(strings.ToLower(a.Last), strings.ToLower(b.Last))
+	if names.SameClass(a.First, b.First) {
+		firstSim = 1
+	}
+	return (firstSim+lastSim)/2 >= cfg.NameThreshold
+}
+
+// CanonicalSourceMap returns the source-key rewriting implied by the
+// clusters: every member key maps to its cluster's canonical key. List
+// sources map to themselves implicitly (absent from the map).
+func CanonicalSourceMap(clusters []SubmitterCluster) map[string]string {
+	m := make(map[string]string)
+	for _, cl := range clusters {
+		for _, member := range cl.Members {
+			m[member.Key] = cl.Canonical.Key
+		}
+	}
+	return m
+}
+
+// Rewrite returns a copy of the collection with submitter sources folded
+// to their canonical keys — strengthening the SameSrc filter and the
+// sameSource feature exactly as resolving the 514k submitters would.
+func Rewrite(coll *record.Collection, canon map[string]string) (*record.Collection, error) {
+	recs := make([]*record.Record, coll.Len())
+	for i, r := range coll.Records {
+		cp := r.Clone()
+		if c, ok := canon[cp.Source]; ok {
+			cp.Source = c
+		}
+		recs[i] = cp
+	}
+	return record.NewCollection(recs)
+}
+
+// Profile describes one source's behaviour.
+type Profile struct {
+	// Source is the (canonical) source key.
+	Source string
+	Kind   record.SourceKind
+	// Records filed by the source.
+	Records int
+	// MeanFields is the average number of distinct item types per record.
+	MeanFields float64
+	// Agreements and Disagreements count attribute comparisons between
+	// this source's records and their matched partners from other
+	// sources.
+	Agreements, Disagreements int
+	// Reliability is Agreements/(Agreements+Disagreements) with a
+	// Laplace prior of one agreement and one disagreement.
+	Reliability float64
+}
+
+// ProfileSources computes per-source profiles given accepted match pairs
+// (e.g. a resolution's output or the gold standard).
+func ProfileSources(coll *record.Collection, matches []record.Pair) []Profile {
+	stats := make(map[string]*Profile)
+	ensure := func(r *record.Record) *Profile {
+		p, ok := stats[r.Source]
+		if !ok {
+			p = &Profile{Source: r.Source, Kind: r.Kind}
+			stats[r.Source] = p
+		}
+		return p
+	}
+	for _, r := range coll.Records {
+		p := ensure(r)
+		p.Records++
+		p.MeanFields += float64(r.Pattern().Size())
+	}
+	for _, m := range matches {
+		a, b := coll.ByID(m.A), coll.ByID(m.B)
+		if a == nil || b == nil || a.Source == b.Source {
+			continue
+		}
+		agree, disagree := compareAttributes(a, b)
+		for _, r := range []*record.Record{a, b} {
+			p := ensure(r)
+			p.Agreements += agree
+			p.Disagreements += disagree
+		}
+	}
+	out := make([]Profile, 0, len(stats))
+	for _, p := range stats {
+		if p.Records > 0 {
+			p.MeanFields /= float64(p.Records)
+		}
+		p.Reliability = float64(p.Agreements+1) / float64(p.Agreements+p.Disagreements+2)
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Records != out[j].Records {
+			return out[i].Records > out[j].Records
+		}
+		return out[i].Source < out[j].Source
+	})
+	return out
+}
+
+// compareAttributes counts agreeing and disagreeing shared attributes.
+func compareAttributes(a, b *record.Record) (agree, disagree int) {
+	pa, pb := a.Pattern(), b.Pattern()
+	for t := 0; t < record.NumItemTypes; t++ {
+		ty := record.ItemType(t)
+		if !pa.Has(ty) || !pb.Has(ty) {
+			continue
+		}
+		va, _ := a.First(ty)
+		vb, _ := b.First(ty)
+		if strings.EqualFold(va, vb) {
+			agree++
+		} else {
+			disagree++
+		}
+	}
+	return agree, disagree
+}
+
+// String renders a profile row.
+func (p Profile) String() string {
+	return fmt.Sprintf("%-40s %-9s records=%d fields=%.1f reliability=%.2f",
+		p.Source, p.Kind, p.Records, p.MeanFields, p.Reliability)
+}

@@ -1,0 +1,204 @@
+package sources
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/record"
+)
+
+func TestParseSubmitter(t *testing.T) {
+	s, ok := ParseSubmitter("submitter:Rachele Colombo:Torino")
+	if !ok {
+		t.Fatal("parse failed")
+	}
+	if s.First != "Rachele" || s.Last != "Colombo" || s.City != "Torino" {
+		t.Errorf("parsed %+v", s)
+	}
+	if _, ok := ParseSubmitter("list:Italy-0001"); ok {
+		t.Error("list source parsed as submitter")
+	}
+	if _, ok := ParseSubmitter("submitter:no-city"); ok {
+		t.Error("malformed key parsed")
+	}
+	// Single-token names keep last empty.
+	s, ok = ParseSubmitter("submitter:Mononym:Roma")
+	if !ok || s.First != "Mononym" || s.Last != "" {
+		t.Errorf("mononym parsed %+v (%v)", s, ok)
+	}
+}
+
+func collOf(t *testing.T, sources ...string) *record.Collection {
+	t.Helper()
+	recs := make([]*record.Record, len(sources))
+	for i, src := range sources {
+		kind := record.Testimony
+		if strings.HasPrefix(src, "list:") {
+			kind = record.List
+		}
+		recs[i] = &record.Record{BookID: int64(i + 1), Source: src, Kind: kind}
+	}
+	c, err := record.NewCollection(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDedupMergesVariantsAndTypos(t *testing.T) {
+	coll := collOf(t,
+		"submitter:Rachele Colombo:Torino",
+		"submitter:Rachele Colombo:Torino",  // same key twice
+		"submitter:Rachele Colombbo:Torino", // typo
+		"submitter:Isak Levi:Torino",
+		"submitter:Yitzhak Levi:Torino", // nickname class
+		"submitter:Isak Levi:Roma",      // different city: stays apart
+		"list:Italy-0001",
+	)
+	clusters := DedupSubmitters(NewDedupConfig(), coll)
+
+	byCanon := map[string]SubmitterCluster{}
+	for _, cl := range clusters {
+		byCanon[cl.Canonical.Key] = cl
+	}
+	if len(clusters) != 3 {
+		t.Fatalf("got %d clusters: %+v", len(clusters), clusters)
+	}
+	// Rachele cluster holds the typo and 3 records total.
+	rachele, ok := byCanon["submitter:Rachele Colombo:Torino"]
+	if !ok {
+		t.Fatalf("missing Rachele cluster: %+v", byCanon)
+	}
+	if len(rachele.Members) != 2 || rachele.Records != 3 {
+		t.Errorf("Rachele cluster = %+v", rachele)
+	}
+	// Isak Torino merged with Yitzhak Torino but not with Roma.
+	foundTorinoLevi := false
+	for _, cl := range clusters {
+		keys := map[string]bool{}
+		for _, m := range cl.Members {
+			keys[m.Key] = true
+		}
+		if keys["submitter:Isak Levi:Torino"] {
+			foundTorinoLevi = true
+			if !keys["submitter:Yitzhak Levi:Torino"] {
+				t.Error("nickname-class submitters not merged")
+			}
+			if keys["submitter:Isak Levi:Roma"] {
+				t.Error("different-city submitters merged under SameCity")
+			}
+		}
+	}
+	if !foundTorinoLevi {
+		t.Fatal("Levi cluster missing")
+	}
+}
+
+func TestCanonicalMapAndRewrite(t *testing.T) {
+	coll := collOf(t,
+		"submitter:Isak Levi:Torino",
+		"submitter:Yitzhak Levi:Torino",
+		"list:Italy-0001",
+	)
+	clusters := DedupSubmitters(NewDedupConfig(), coll)
+	canon := CanonicalSourceMap(clusters)
+	if len(canon) != 2 {
+		t.Fatalf("canon map = %v", canon)
+	}
+	rw, err := Rewrite(coll, canon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.Records[0].Source != rw.Records[1].Source {
+		t.Error("rewrite did not unify the merged submitters")
+	}
+	if rw.Records[2].Source != "list:Italy-0001" {
+		t.Error("list source mutated")
+	}
+	// Original untouched.
+	if coll.Records[0].Source == coll.Records[1].Source {
+		t.Error("Rewrite mutated the input collection")
+	}
+}
+
+func TestDedupOnGeneratedDataset(t *testing.T) {
+	cfg := dataset.ItalyConfig()
+	cfg.Persons = 400
+	g, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters := DedupSubmitters(NewDedupConfig(), g.Collection)
+	if len(clusters) == 0 {
+		t.Fatal("no submitter clusters")
+	}
+	distinct := map[string]bool{}
+	total := 0
+	for _, r := range g.Collection.Records {
+		if _, ok := ParseSubmitter(r.Source); ok {
+			distinct[r.Source] = true
+			total++
+		}
+	}
+	if len(clusters) > len(distinct) {
+		t.Errorf("more clusters (%d) than distinct submitters (%d)", len(clusters), len(distinct))
+	}
+	sum := 0
+	for _, cl := range clusters {
+		sum += cl.Records
+	}
+	if sum != total {
+		t.Errorf("cluster record counts sum to %d, want %d", sum, total)
+	}
+}
+
+func TestProfileSources(t *testing.T) {
+	mk := func(id int64, src string, kind record.SourceKind, year string) *record.Record {
+		r := &record.Record{BookID: id, Source: src, Kind: kind}
+		r.Add(record.FirstName, "Guido")
+		r.Add(record.BirthYear, year)
+		return r
+	}
+	coll, err := record.NewCollection([]*record.Record{
+		mk(1, "list:a", record.List, "1920"),
+		mk(2, "list:b", record.List, "1920"), // agrees with 1
+		mk(3, "list:c", record.List, "1999"), // disagrees on year
+		mk(4, "submitter:X Y:Z", record.Testimony, "1920"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches := []record.Pair{
+		record.MakePair(1, 2),
+		record.MakePair(1, 3),
+		record.MakePair(2, 2), // degenerate, ignored via same source
+	}
+	profiles := ProfileSources(coll, matches)
+	byKey := map[string]Profile{}
+	for _, p := range profiles {
+		byKey[p.Source] = p
+	}
+	if len(profiles) != 4 {
+		t.Fatalf("profiles = %d", len(profiles))
+	}
+	a, b, c := byKey["list:a"], byKey["list:b"], byKey["list:c"]
+	if a.Records != 1 || a.MeanFields != 2 {
+		t.Errorf("list:a profile = %+v", a)
+	}
+	if b.Reliability <= c.Reliability {
+		t.Errorf("agreeing source (%v) must out-rank disagreeing (%v)", b.Reliability, c.Reliability)
+	}
+	// No matches at all: Laplace prior gives 0.5.
+	if p := byKey["submitter:X Y:Z"]; p.Reliability != 0.5 {
+		t.Errorf("unmatched source reliability = %v", p.Reliability)
+	}
+}
+
+func TestProfileStringRenders(t *testing.T) {
+	p := Profile{Source: "list:a", Kind: record.List, Records: 3, MeanFields: 4.5, Reliability: 0.8}
+	s := p.String()
+	if !strings.Contains(s, "list:a") || !strings.Contains(s, "0.80") {
+		t.Errorf("render = %q", s)
+	}
+}

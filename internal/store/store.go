@@ -1,0 +1,263 @@
+// Package store provides a compact append-only on-disk store for victim
+// reports with a BookID index — the persistence substrate a deployment
+// keeps its 6.5M records in between pipeline runs. The format is a
+// length-prefixed binary log: a fixed header, then one framed record per
+// report; the index is rebuilt on open by a single sequential scan.
+//
+// Layout (little-endian):
+//
+//	header:  magic "YVST" | uint32 version
+//	record:  uint32 frameLen | int64 bookID | uint8 kind |
+//	         uint16 sourceLen | source bytes |
+//	         uint16 itemCount | items (uint8 type | uint16 valueLen | value)
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/record"
+)
+
+var magic = [4]byte{'Y', 'V', 'S', 'T'}
+
+// Version is the current format version.
+const Version = 1
+
+// Writer appends records to a store file.
+type Writer struct {
+	f   *os.File
+	buf *bufio.Writer
+	n   int
+}
+
+// Create starts a new store file, truncating any existing one.
+func Create(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := &Writer{f: f, buf: bufio.NewWriter(f)}
+	if _, err := w.buf.Write(magic[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := binary.Write(w.buf, binary.LittleEndian, uint32(Version)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// Append writes one record.
+func (w *Writer) Append(r *record.Record) error {
+	frame, err := encodeRecord(r)
+	if err != nil {
+		return err
+	}
+	if err := binary.Write(w.buf, binary.LittleEndian, uint32(len(frame))); err != nil {
+		return err
+	}
+	if _, err := w.buf.Write(frame); err != nil {
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Len returns the number of appended records.
+func (w *Writer) Len() int { return w.n }
+
+// Close flushes and closes the file.
+func (w *Writer) Close() error {
+	if err := w.buf.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+func encodeRecord(r *record.Record) ([]byte, error) {
+	if len(r.Source) > 0xFFFF {
+		return nil, fmt.Errorf("store: source of record %d too long (%d)", r.BookID, len(r.Source))
+	}
+	if len(r.Items) > 0xFFFF {
+		return nil, fmt.Errorf("store: record %d has too many items (%d)", r.BookID, len(r.Items))
+	}
+	size := 8 + 1 + 2 + len(r.Source) + 2
+	for _, it := range r.Items {
+		if len(it.Value) > 0xFFFF {
+			return nil, fmt.Errorf("store: record %d item value too long", r.BookID)
+		}
+		size += 1 + 2 + len(it.Value)
+	}
+	out := make([]byte, 0, size)
+	out = binary.LittleEndian.AppendUint64(out, uint64(r.BookID))
+	out = append(out, byte(r.Kind))
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(r.Source)))
+	out = append(out, r.Source...)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(r.Items)))
+	for _, it := range r.Items {
+		out = append(out, byte(it.Type))
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(it.Value)))
+		out = append(out, it.Value...)
+	}
+	return out, nil
+}
+
+func decodeRecord(frame []byte) (*record.Record, error) {
+	r := &record.Record{}
+	if len(frame) < 13 {
+		return nil, fmt.Errorf("store: truncated record frame (%d bytes)", len(frame))
+	}
+	r.BookID = int64(binary.LittleEndian.Uint64(frame[0:8]))
+	kind := frame[8]
+	if kind > uint8(record.List) {
+		return nil, fmt.Errorf("store: record %d has invalid kind %d", r.BookID, kind)
+	}
+	r.Kind = record.SourceKind(kind)
+	pos := 9
+	srcLen := int(binary.LittleEndian.Uint16(frame[pos : pos+2]))
+	pos += 2
+	if pos+srcLen+2 > len(frame) {
+		return nil, fmt.Errorf("store: record %d source overruns frame", r.BookID)
+	}
+	r.Source = string(frame[pos : pos+srcLen])
+	pos += srcLen
+	itemCount := int(binary.LittleEndian.Uint16(frame[pos : pos+2]))
+	pos += 2
+	for k := 0; k < itemCount; k++ {
+		if pos+3 > len(frame) {
+			return nil, fmt.Errorf("store: record %d item %d truncated", r.BookID, k)
+		}
+		t := frame[pos]
+		if int(t) >= record.NumItemTypes {
+			return nil, fmt.Errorf("store: record %d has invalid item type %d", r.BookID, t)
+		}
+		vLen := int(binary.LittleEndian.Uint16(frame[pos+1 : pos+3]))
+		pos += 3
+		if pos+vLen > len(frame) {
+			return nil, fmt.Errorf("store: record %d item %d value overruns frame", r.BookID, k)
+		}
+		r.Items = append(r.Items, record.Item{Type: record.ItemType(t), Value: string(frame[pos : pos+vLen])})
+		pos += vLen
+	}
+	if pos != len(frame) {
+		return nil, fmt.Errorf("store: record %d frame has %d trailing bytes", r.BookID, len(frame)-pos)
+	}
+	return r, nil
+}
+
+// Store is an opened store with its BookID index.
+type Store struct {
+	f       *os.File
+	offsets map[int64]int64 // BookID -> frame offset (of the length prefix)
+	order   []int64         // BookIDs in append order
+}
+
+// Open reads the header and builds the index with one sequential scan.
+func Open(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{f: f, offsets: make(map[int64]int64)}
+	br := bufio.NewReader(f)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: read header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != magic {
+		f.Close()
+		return nil, fmt.Errorf("store: bad magic %q", hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != Version {
+		f.Close()
+		return nil, fmt.Errorf("store: unsupported version %d", v)
+	}
+	offset := int64(8)
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			if err == io.EOF {
+				break
+			}
+			f.Close()
+			return nil, fmt.Errorf("store: read frame length at %d: %w", offset, err)
+		}
+		frameLen := binary.LittleEndian.Uint32(lenBuf[:])
+		frame := make([]byte, frameLen)
+		if _, err := io.ReadFull(br, frame); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: read frame at %d: %w", offset, err)
+		}
+		r, err := decodeRecord(frame)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		if _, dup := s.offsets[r.BookID]; dup {
+			f.Close()
+			return nil, fmt.Errorf("store: duplicate BookID %d", r.BookID)
+		}
+		s.offsets[r.BookID] = offset
+		s.order = append(s.order, r.BookID)
+		offset += 4 + int64(frameLen)
+	}
+	return s, nil
+}
+
+// Len returns the number of stored records.
+func (s *Store) Len() int { return len(s.order) }
+
+// Get reads one record by BookID.
+func (s *Store) Get(bookID int64) (*record.Record, error) {
+	offset, ok := s.offsets[bookID]
+	if !ok {
+		return nil, fmt.Errorf("store: BookID %d not found", bookID)
+	}
+	var lenBuf [4]byte
+	if _, err := s.f.ReadAt(lenBuf[:], offset); err != nil {
+		return nil, fmt.Errorf("store: read length of %d: %w", bookID, err)
+	}
+	frame := make([]byte, binary.LittleEndian.Uint32(lenBuf[:]))
+	if _, err := s.f.ReadAt(frame, offset+4); err != nil {
+		return nil, fmt.Errorf("store: read frame of %d: %w", bookID, err)
+	}
+	return decodeRecord(frame)
+}
+
+// All loads every record in append order.
+func (s *Store) All() ([]*record.Record, error) {
+	out := make([]*record.Record, 0, len(s.order))
+	for _, id := range s.order {
+		r, err := s.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Close releases the file.
+func (s *Store) Close() error { return s.f.Close() }
+
+// WriteAll is a convenience that stores a record slice in one call.
+func WriteAll(path string, records []*record.Record) error {
+	w, err := Create(path)
+	if err != nil {
+		return err
+	}
+	for _, r := range records {
+		if err := w.Append(r); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	return w.Close()
+}

@@ -1,0 +1,154 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/record"
+)
+
+func tmpPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "records.yvst")
+}
+
+func TestRoundTrip(t *testing.T) {
+	cfg := dataset.ItalyConfig()
+	cfg.Persons = 200
+	g, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := tmpPath(t)
+	if err := WriteAll(path, g.Records); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Len() != len(g.Records) {
+		t.Fatalf("stored %d of %d records", s.Len(), len(g.Records))
+	}
+
+	// Random access by BookID.
+	for _, want := range []int{0, len(g.Records) / 2, len(g.Records) - 1} {
+		orig := g.Records[want]
+		got, err := s.Get(orig.BookID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, orig) {
+			t.Errorf("record %d round-trip mismatch:\n%v\n%v", orig.BookID, got, orig)
+		}
+	}
+
+	// Bulk load preserves order and content.
+	all, err := s.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range all {
+		if !reflect.DeepEqual(all[i], g.Records[i]) {
+			t.Fatalf("record %d differs after All()", i)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	path := tmpPath(t)
+	if err := WriteAll(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Get(42); err == nil {
+		t.Error("unknown BookID should fail")
+	}
+}
+
+func TestOpenRejectsCorruption(t *testing.T) {
+	path := tmpPath(t)
+	r := &record.Record{BookID: 1}
+	r.Add(record.FirstName, "Guido")
+	if err := WriteAll(path, []*record.Record{r}); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"bad magic", func(b []byte) []byte { b = append([]byte(nil), b...); b[0] = 'X'; return b }},
+		{"bad version", func(b []byte) []byte { b = append([]byte(nil), b...); b[4] = 99; return b }},
+		{"truncated frame", func(b []byte) []byte { return b[:len(b)-3] }},
+		{"trailing garbage frame len", func(b []byte) []byte { return append(append([]byte(nil), b...), 0xFF, 0xFF) }},
+	}
+	for _, tc := range cases {
+		bad := path + "-" + tc.name
+		if err := os.WriteFile(bad, tc.mutate(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if s, err := Open(bad); err == nil {
+			s.Close()
+			t.Errorf("%s: Open accepted corrupt file", tc.name)
+		}
+	}
+}
+
+func TestDuplicateBookIDRejected(t *testing.T) {
+	path := tmpPath(t)
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &record.Record{BookID: 7}
+	if err := w.Append(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s, err := Open(path); err == nil {
+		s.Close()
+		t.Error("duplicate BookIDs should be rejected at Open")
+	}
+}
+
+func TestEmptyValuesAndUnicode(t *testing.T) {
+	path := tmpPath(t)
+	r := &record.Record{BookID: 1, Source: "submitter:Мария Коган:Київ", Kind: record.Testimony}
+	r.Add(record.FirstName, "Марія")
+	r.Add(record.LastName, "קוגן")
+	if err := WriteAll(path, []*record.Record{r}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	got, err := s.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Errorf("unicode round trip failed:\n%v\n%v", got, r)
+	}
+}
