@@ -86,5 +86,9 @@ func BenchmarkAblationPruning(b *testing.B) { benchExperiment(b, "ablation-pruni
 // BenchmarkAblationWorkers runs the parallel-construction ablation.
 func BenchmarkAblationWorkers(b *testing.B) { benchExperiment(b, "ablation-workers") }
 
+// BenchmarkAblationScoringWorkers runs the parallel pair-scoring ablation:
+// the serial seed path against the profiled worker pool.
+func BenchmarkAblationScoringWorkers(b *testing.B) { benchExperiment(b, "ablation-scoring-workers") }
+
 // BenchmarkAblationMetaBlocking runs the comparison-cleaning ablation.
 func BenchmarkAblationMetaBlocking(b *testing.B) { benchExperiment(b, "ablation-metablocking") }

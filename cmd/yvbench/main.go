@@ -20,6 +20,7 @@ import (
 func main() {
 	scaleFlag := flag.String("scale", "quick", "dataset scale: quick or full")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	workers := flag.Int("workers", 0, "pair-scoring workers for pipeline experiments (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	if *list {
@@ -55,6 +56,7 @@ func main() {
 	}
 
 	runner := experiments.NewRunner(scale)
+	runner.ScoringWorkers = *workers
 	for _, e := range selected {
 		t0 := time.Now()
 		if err := e.Run(runner, os.Stdout); err != nil {

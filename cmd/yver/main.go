@@ -34,6 +34,7 @@ func main() {
 	first := flag.String("first", "", "search: first name (matched through equivalence classes)")
 	last := flag.String("last", "", "search: last name")
 	modelPath := flag.String("model", "", "trained ADTree model (from yvtrain); enables classification")
+	workers := flag.Int("workers", 0, "pair-scoring workers (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	if *in == "" {
@@ -57,6 +58,7 @@ func main() {
 		Geo:        gazetteer.Builtin(0),
 		Preprocess: true,
 		SameSrc:    *sameSrc,
+		Workers:    *workers,
 	}
 	if *modelPath != "" {
 		mf, err := os.Open(*modelPath)

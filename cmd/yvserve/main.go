@@ -35,6 +35,7 @@ func main() {
 	modelPath := flag.String("model", "", "trained ADTree model (enables classification)")
 	addr := flag.String("addr", ":8080", "listen address")
 	ng := flag.Float64("ng", 3.5, "neighborhood growth parameter")
+	workers := flag.Int("workers", 0, "pair-scoring workers (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	if *in == "" {
@@ -57,6 +58,7 @@ func main() {
 		Geo:        gazetteer.Builtin(0),
 		Preprocess: true,
 		SameSrc:    true,
+		Workers:    *workers,
 	}
 	if *modelPath != "" {
 		mf, err := os.Open(*modelPath)

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/adtree"
+	"repro/internal/dataset"
+	"repro/internal/features"
+	"repro/internal/mfiblocks"
+	"repro/internal/record"
+)
+
+// benchScoring prepares the scoring stage's inputs once: a generated
+// collection, its preprocessed form, the blocking result, and a trained
+// model — so the benchmark isolates pair scoring from the rest of the
+// pipeline.
+type benchScoring struct {
+	opts Options
+	work *record.Collection
+	blk  *mfiblocks.Result
+}
+
+func newBenchScoring(b *testing.B, persons int) *benchScoring {
+	b.Helper()
+	cfg := dataset.ItalyConfig()
+	cfg.Persons = persons
+	gen, err := dataset.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pre, err := PreprocessWith(gen.Collection, gen.Gaz)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blk, err := mfiblocks.Run(mfiblocks.NewConfig(), pre)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tagger := &dataset.Tagger{Gold: gen.Gold, Coll: gen.Collection, Rng: rand.New(rand.NewSource(99))}
+	tags := tagger.TagPairs(blk.Pairs)
+	model, err := TrainModel(adtree.NewTrainConfig(), tags, gen.Collection, gen.Gaz, OmitMaybe)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := Options{Geo: gen.Gaz, Model: model, Classify: true, SameSrc: true}
+	return &benchScoring{opts: opts, work: pre, blk: blk}
+}
+
+// BenchmarkScorePairs measures the scoring stage — SameSrc filter, feature
+// extraction, ADTree scoring, classification — serial (workers=1, the seed
+// path) against the profiled worker pool at several worker counts.
+func BenchmarkScorePairs(b *testing.B) {
+	bs := newBenchScoring(b, 600)
+	counts := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			opts := bs.opts
+			opts.Workers = workers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cache := features.NewProfileCache(features.NewExtractor(opts.Geo))
+				st := scorePairs(&opts, bs.work, bs.blk, cache, workers)
+				if len(st.matches) == 0 {
+					b.Fatal("no matches scored")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRunDefaultWorkers measures end-to-end Run (blocking included)
+// at the default worker count — the common call site.
+func BenchmarkRunDefaultWorkers(b *testing.B) {
+	bs := newBenchScoring(b, 400)
+	coll := bs.work
+	opts := bs.opts
+	opts.Blocking = mfiblocks.NewConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(opts, coll); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

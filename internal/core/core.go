@@ -8,7 +8,11 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/adtree"
 	"repro/internal/features"
@@ -42,6 +46,11 @@ type Options struct {
 	// Classify drops pairs the model scores at or below zero (the Cls
 	// condition). Requires Model.
 	Classify bool
+	// Workers bounds the goroutines scoring candidate pairs: 0 means
+	// GOMAXPROCS, 1 runs the exact serial path. Output is deterministic —
+	// identical Matches order and discard counters — for every worker
+	// count.
+	Workers int
 }
 
 // NewOptions returns the deployment defaults: preprocessing on, default
@@ -54,6 +63,13 @@ func NewOptions(geo similarity.GeoDistancer) Options {
 		SameSrc:    true,
 		Classify:   true,
 	}
+}
+
+func (o *Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // RankedMatch is one candidate pair with its similarity evidence.
@@ -79,7 +95,30 @@ type Resolution struct {
 	DiscardedSameSrc int
 	// DiscardedByModel counts candidates dropped by classification.
 	DiscardedByModel int
+
+	// model and profiles carry the scoring machinery into the query
+	// paths: ScorePair (and the server's /api/pair) re-score ad-hoc pairs
+	// without redoing per-record extraction work.
+	model    *adtree.Model
+	profiles *features.ProfileCache
+
+	// clusterMu guards clusterCache, the per-certainty memo of Clusters —
+	// repeated server queries at the same threshold skip the union-find.
+	clusterMu    sync.Mutex
+	clusterCache map[float64][]*Entity
 }
+
+// scoreResult is one scoring stage's output before ranking.
+type scoreResult struct {
+	matches []RankedMatch
+	sameSrc int
+	byModel int
+}
+
+// scoreChunkSize is the number of candidate pairs a scoring worker claims
+// at a time. Small enough to balance skewed chunks, large enough that the
+// per-chunk bookkeeping is noise.
+const scoreChunkSize = 512
 
 // Run executes the pipeline.
 func Run(opts Options, coll *record.Collection) (*Resolution, error) {
@@ -104,12 +143,117 @@ func Run(opts Options, coll *record.Collection) (*Resolution, error) {
 		return nil, fmt.Errorf("core: blocking: %w", err)
 	}
 
-	res := &Resolution{Blocking: blk, Collection: work}
-	ex := features.NewExtractor(opts.Geo)
+	res := &Resolution{
+		Blocking:   blk,
+		Collection: work,
+		model:      opts.Model,
+		profiles:   features.NewProfileCache(features.NewExtractor(opts.Geo)),
+	}
+	st := scorePairs(&opts, work, blk, res.profiles, opts.workers())
+	res.Matches = st.matches
+	res.DiscardedSameSrc = st.sameSrc
+	res.DiscardedByModel = st.byModel
+	sortMatches(res.Matches)
+	return res, nil
+}
+
+// sortMatches ranks matches by descending score, breaking ties by pair —
+// a total order over distinct pairs, so the ranking is independent of the
+// pre-sort order the scoring stage produced.
+func sortMatches(ms []RankedMatch) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Score != ms[j].Score {
+			return ms[i].Score > ms[j].Score
+		}
+		a, b := ms[i].Pair, ms[j].Pair
+		if a.A != b.A {
+			return a.A < b.A
+		}
+		return a.B < b.B
+	})
+}
+
+// scorePairs runs the scoring stage — SameSrc filtering, feature
+// extraction, model scoring, classification — over the blocking
+// candidates. workers==1 runs the exact serial seed path; otherwise the
+// pairs are scored on a chunked worker pool over cached record profiles,
+// with chunk-ordered merging so the output is identical to the serial
+// path for every worker count.
+func scorePairs(opts *Options, work *record.Collection, blk *mfiblocks.Result, cache *features.ProfileCache, workers int) scoreResult {
+	if workers <= 1 || len(blk.Pairs) == 0 {
+		return scoreSerial(opts, work, blk, cache.Extractor())
+	}
+
+	profs := cache.Build(work, workers)
+	pairs := blk.Pairs
+	numChunks := (len(pairs) + scoreChunkSize - 1) / scoreChunkSize
+	if workers > numChunks {
+		workers = numChunks
+	}
+	chunks := make([]scoreResult, numChunks)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ex := cache.Extractor()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= numChunks {
+					return
+				}
+				lo, hi := c*scoreChunkSize, (c+1)*scoreChunkSize
+				if hi > len(pairs) {
+					hi = len(pairs)
+				}
+				var out scoreResult
+				for _, p := range pairs[lo:hi] {
+					ia, ib := work.Index(p.A), work.Index(p.B)
+					ra, rb := work.Records[ia], work.Records[ib]
+					if opts.SameSrc && ra.Source != "" && ra.Source == rb.Source {
+						out.sameSrc++
+						continue
+					}
+					m := RankedMatch{Pair: p, BlockScore: blk.PairScores[p]}
+					m.Score = m.BlockScore
+					if opts.Model != nil {
+						m.Score = opts.Model.Score(ex.ExtractProfiled(profs[ia], profs[ib]))
+						if opts.Classify && m.Score <= 0 {
+							out.byModel++
+							continue
+						}
+					}
+					out.matches = append(out.matches, m)
+				}
+				chunks[c] = out
+			}
+		}()
+	}
+	wg.Wait()
+
+	var total scoreResult
+	n := 0
+	for i := range chunks {
+		n += len(chunks[i].matches)
+	}
+	total.matches = make([]RankedMatch, 0, n)
+	for i := range chunks {
+		total.matches = append(total.matches, chunks[i].matches...)
+		total.sameSrc += chunks[i].sameSrc
+		total.byModel += chunks[i].byModel
+	}
+	return total
+}
+
+// scoreSerial is the seed's serial scoring loop, byte-for-byte: one
+// goroutine, per-pair Extract with no profile cache.
+func scoreSerial(opts *Options, work *record.Collection, blk *mfiblocks.Result, ex *features.Extractor) scoreResult {
+	var out scoreResult
 	for _, p := range blk.Pairs {
 		ra, rb := work.ByID(p.A), work.ByID(p.B)
 		if opts.SameSrc && ra.Source != "" && ra.Source == rb.Source {
-			res.DiscardedSameSrc++
+			out.sameSrc++
 			continue
 		}
 		m := RankedMatch{Pair: p, BlockScore: blk.PairScores[p]}
@@ -117,28 +261,54 @@ func Run(opts Options, coll *record.Collection) (*Resolution, error) {
 		if opts.Model != nil {
 			m.Score = opts.Model.Score(ex.Extract(ra, rb))
 			if opts.Classify && m.Score <= 0 {
-				res.DiscardedByModel++
+				out.byModel++
 				continue
 			}
 		}
-		res.Matches = append(res.Matches, m)
+		out.matches = append(out.matches, m)
 	}
-	sort.Slice(res.Matches, func(i, j int) bool {
-		if res.Matches[i].Score != res.Matches[j].Score {
-			return res.Matches[i].Score > res.Matches[j].Score
-		}
-		a, b := res.Matches[i].Pair, res.Matches[j].Pair
-		if a.A != b.A {
-			return a.A < b.A
-		}
-		return a.B < b.B
-	})
-	return res, nil
+	return out
+}
+
+// Profiles returns the resolution's record-profile cache. Query paths use
+// it to re-score pairs without re-deriving per-record features; profiles
+// are built lazily on first use.
+func (r *Resolution) Profiles() *features.ProfileCache { return r.profiles }
+
+// ScorePair scores an arbitrary pair of reports on demand, through the
+// cached profiles: the model confidence when the resolution carries a
+// model, otherwise the pair's blocking score (0 when blocking never
+// proposed the pair). It is safe for concurrent use.
+func (r *Resolution) ScorePair(aID, bID int64) (RankedMatch, error) {
+	ra, rb := r.Collection.ByID(aID), r.Collection.ByID(bID)
+	if ra == nil {
+		return RankedMatch{}, fmt.Errorf("core: unknown report %d", aID)
+	}
+	if rb == nil {
+		return RankedMatch{}, fmt.Errorf("core: unknown report %d", bID)
+	}
+	if aID == bID {
+		return RankedMatch{}, fmt.Errorf("core: report %d paired with itself", aID)
+	}
+	m := RankedMatch{Pair: record.MakePair(aID, bID)}
+	if r.Blocking != nil {
+		m.BlockScore = r.Blocking.PairScores[m.Pair]
+	}
+	m.Score = m.BlockScore
+	if r.model != nil && r.profiles != nil {
+		ex := r.profiles.Extractor()
+		m.Score = r.model.Score(ex.ExtractProfiled(r.profiles.Get(ra), r.profiles.Get(rb)))
+	}
+	return m, nil
 }
 
 // AtCertainty returns the matches with Score >= theta — the query-time
-// certainty slider of the uncertain-ER model.
+// certainty slider of the uncertain-ER model. A NaN threshold matches
+// nothing (NaN compares false with every score).
 func (r *Resolution) AtCertainty(theta float64) []RankedMatch {
+	if math.IsNaN(theta) {
+		return nil
+	}
 	// Matches are sorted descending; binary search for the cut.
 	lo := sort.Search(len(r.Matches), func(i int) bool {
 		return r.Matches[i].Score < theta

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -33,11 +34,38 @@ func (e *Entity) Best(t record.ItemType) (string, bool) {
 	return vs[0].Value, true
 }
 
+// maxClusterCacheEntries bounds the per-certainty Clusters memo so a
+// client sweeping thresholds cannot grow the resolution unboundedly.
+const maxClusterCacheEntries = 64
+
 // Clusters resolves the matches at the given certainty into entities:
 // connected components over the accepted pairs, with singletons for
 // unmatched records. This is the query-time crisp view of the uncertain
-// resolution.
+// resolution. Results are memoized per certainty — repeated server
+// queries at one threshold skip the union-find — and must be treated as
+// read-only. Safe for concurrent use.
 func (r *Resolution) Clusters(theta float64) []*Entity {
+	if math.IsNaN(theta) {
+		// NaN is not a usable map key (NaN != NaN); compute uncached.
+		return r.clusters(theta)
+	}
+	r.clusterMu.Lock()
+	if ents, ok := r.clusterCache[theta]; ok {
+		r.clusterMu.Unlock()
+		return ents
+	}
+	r.clusterMu.Unlock()
+	ents := r.clusters(theta)
+	r.clusterMu.Lock()
+	if r.clusterCache == nil || len(r.clusterCache) >= maxClusterCacheEntries {
+		r.clusterCache = make(map[float64][]*Entity)
+	}
+	r.clusterCache[theta] = ents
+	r.clusterMu.Unlock()
+	return ents
+}
+
+func (r *Resolution) clusters(theta float64) []*Entity {
 	accepted := r.AtCertainty(theta)
 	uf := newUnionFind()
 	for _, rec := range r.Collection.Records {

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/adtree"
+	"repro/internal/mfiblocks"
+)
+
+// equivalenceWorkerCounts are the worker counts the suite sweeps; 1 is the
+// exact serial seed path, the rest exercise the chunked pool (7 is chosen
+// to leave a ragged final chunk).
+func equivalenceWorkerCounts() []int {
+	return []int{1, 2, 7, runtime.GOMAXPROCS(0)}
+}
+
+func assertRunsEqual(t *testing.T, tag string, ref, got *Resolution) {
+	t.Helper()
+	if len(ref.Matches) != len(got.Matches) {
+		t.Fatalf("%s: match counts differ: %d vs %d", tag, len(ref.Matches), len(got.Matches))
+	}
+	for i := range ref.Matches {
+		if ref.Matches[i] != got.Matches[i] {
+			t.Fatalf("%s: match %d differs: %+v vs %+v", tag, i, ref.Matches[i], got.Matches[i])
+		}
+	}
+	if ref.DiscardedSameSrc != got.DiscardedSameSrc {
+		t.Fatalf("%s: DiscardedSameSrc %d vs %d", tag, ref.DiscardedSameSrc, got.DiscardedSameSrc)
+	}
+	if ref.DiscardedByModel != got.DiscardedByModel {
+		t.Fatalf("%s: DiscardedByModel %d vs %d", tag, ref.DiscardedByModel, got.DiscardedByModel)
+	}
+}
+
+// TestRunWorkerEquivalence is the parallel-vs-serial equivalence suite:
+// over seeded generated collections and several pipeline configurations,
+// Run must yield identical Matches (pairs, block scores, model scores, and
+// order) and identical discard counters for every worker count.
+func TestRunWorkerEquivalence(t *testing.T) {
+	for _, persons := range []int{200, 400} {
+		fx := newFixture(t, persons)
+		gen := fx.gen
+		model, err := TrainModel(adtree.NewTrainConfig(), fx.tags, gen.Collection, gen.Gaz, OmitMaybe)
+		if err != nil {
+			t.Fatalf("TrainModel: %v", err)
+		}
+
+		configs := []struct {
+			name string
+			opts Options
+		}{
+			{"blockOnly", Options{Blocking: mfiblocks.NewConfig(), Geo: gen.Gaz, Preprocess: true, Gazetteer: gen.Gaz}},
+			{"model", Options{Blocking: mfiblocks.NewConfig(), Geo: gen.Gaz, Preprocess: true, Gazetteer: gen.Gaz, Model: model}},
+			{"full", Options{Blocking: mfiblocks.NewConfig(), Geo: gen.Gaz, Preprocess: true, Gazetteer: gen.Gaz, Model: model, Classify: true, SameSrc: true}},
+		}
+		for _, cfg := range configs {
+			serial := cfg.opts
+			serial.Workers = 1
+			ref, err := Run(serial, gen.Collection)
+			if err != nil {
+				t.Fatalf("Run(serial %s): %v", cfg.name, err)
+			}
+			for _, workers := range equivalenceWorkerCounts() {
+				if workers == 1 {
+					continue
+				}
+				par := cfg.opts
+				par.Workers = workers
+				got, err := Run(par, gen.Collection)
+				if err != nil {
+					t.Fatalf("Run(%s workers=%d): %v", cfg.name, workers, err)
+				}
+				tag := fmt.Sprintf("persons=%d %s workers=%d", persons, cfg.name, workers)
+				assertRunsEqual(t, tag, ref, got)
+			}
+		}
+	}
+}
+
+// TestScorePairAgreesWithRanking verifies the query-time profiled scorer
+// reproduces the ranked list's scores exactly.
+func TestScorePairAgreesWithRanking(t *testing.T) {
+	fx := newFixture(t, 300)
+	gen := fx.gen
+	model, err := TrainModel(adtree.NewTrainConfig(), fx.tags, gen.Collection, gen.Gaz, OmitMaybe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Blocking: mfiblocks.NewConfig(), Geo: gen.Gaz, Preprocess: true, Gazetteer: gen.Gaz, Model: model}
+	res, err := Run(opts, gen.Collection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) == 0 {
+		t.Fatal("no matches")
+	}
+	n := len(res.Matches)
+	if n > 50 {
+		n = 50
+	}
+	for _, m := range res.Matches[:n] {
+		got, err := res.ScorePair(m.Pair.A, m.Pair.B)
+		if err != nil {
+			t.Fatalf("ScorePair(%v): %v", m.Pair, err)
+		}
+		if got != m {
+			t.Fatalf("ScorePair(%v) = %+v, ranked as %+v", m.Pair, got, m)
+		}
+	}
+	if _, err := res.ScorePair(-1, res.Matches[0].Pair.A); err == nil {
+		t.Error("ScorePair with unknown report did not fail")
+	}
+	if _, err := res.ScorePair(res.Matches[0].Pair.A, res.Matches[0].Pair.A); err == nil {
+		t.Error("ScorePair of a report with itself did not fail")
+	}
+}
+
+// TestAtCertaintyNaNSafe pins the NaN semantics: a NaN threshold matches
+// nothing instead of silently returning every match (sort.Search's
+// predicate is always false against NaN).
+func TestAtCertaintyNaNSafe(t *testing.T) {
+	r := &Resolution{Matches: []RankedMatch{{Score: 2}, {Score: 1}, {Score: 0}}}
+	if got := r.AtCertainty(math.NaN()); len(got) != 0 {
+		t.Fatalf("AtCertainty(NaN) returned %d matches, want 0", len(got))
+	}
+	if got := r.AtCertainty(math.Inf(-1)); len(got) != 3 {
+		t.Fatalf("AtCertainty(-Inf) returned %d matches, want all 3", len(got))
+	}
+	if got := r.AtCertainty(math.Inf(1)); len(got) != 0 {
+		t.Fatalf("AtCertainty(+Inf) returned %d matches, want 0", len(got))
+	}
+}
+
+// TestClustersMemoized checks the per-certainty memo returns the same
+// (cached) slice across calls and distinct results across thresholds.
+func TestClustersMemoized(t *testing.T) {
+	fx := newFixture(t, 200)
+	opts := Options{Blocking: mfiblocks.NewConfig(), Geo: fx.gen.Gaz, Preprocess: true, Gazetteer: fx.gen.Gaz}
+	res, err := Run(opts, fx.gen.Collection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Clusters(0.3)
+	b := res.Clusters(0.3)
+	if len(a) != len(b) {
+		t.Fatalf("memoized Clusters sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("memoized Clusters returned different entities")
+		}
+	}
+	// NaN thresholds must not poison the cache and resolve to singletons.
+	ents := res.Clusters(math.NaN())
+	if len(ents) != fx.gen.Collection.Len() {
+		t.Fatalf("Clusters(NaN) = %d entities, want %d singletons", len(ents), fx.gen.Collection.Len())
+	}
+}

@@ -188,3 +188,45 @@ func (r *Runner) AblationWorkers(w io.Writer) error {
 	}
 	return nil
 }
+
+// AblationScoringWorkers reports end-to-end pipeline runtime and the
+// scoring stage's throughput against the pair-scoring worker count —
+// workers=1 is the serial per-pair extraction path, higher counts use the
+// profiled worker pool. The match list is identical at every count.
+func (r *Runner) AblationScoringWorkers(w io.Writer) error {
+	header(w, "Ablation", "Parallel pair scoring workers")
+	g := r.Italy()
+	model, err := r.trainOn(r.Tags())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-9s %10s %10s %10s\n", "workers", "runtime", "matches", "pairs/s")
+	var refMatches int
+	for _, n := range []int{1, 2, 4, 8} {
+		opts := core.Options{
+			Blocking:   mfiblocks.NewConfig(),
+			Geo:        g.Gaz,
+			Preprocess: true,
+			Gazetteer:  g.Gaz,
+			SameSrc:    true,
+			Model:      model,
+			Classify:   true,
+			Workers:    n,
+		}
+		t0 := time.Now()
+		res, err := core.Run(opts, g.Collection)
+		if err != nil {
+			return err
+		}
+		el := time.Since(t0)
+		scored := len(res.Blocking.Pairs)
+		rate := float64(scored) / el.Seconds()
+		fmt.Fprintf(w, "%-9d %10s %10d %10.0f\n", n, el.Round(time.Millisecond), len(res.Matches), rate)
+		if n == 1 {
+			refMatches = len(res.Matches)
+		} else if len(res.Matches) != refMatches {
+			return fmt.Errorf("scoring workers=%d changed the match count: %d vs %d", n, len(res.Matches), refMatches)
+		}
+	}
+	return nil
+}

@@ -50,6 +50,11 @@ type Runner struct {
 	// count — used by tests to shrink the datasets.
 	PersonsOverride int
 
+	// ScoringWorkers sets core.Options.Workers for experiments that run
+	// the full pipeline; 0 keeps the GOMAXPROCS default. Results are
+	// worker-count independent — only runtime changes.
+	ScoringWorkers int
+
 	mu        sync.Mutex
 	italy     *dataset.Generated
 	italyPre  *record.Collection

@@ -30,6 +30,7 @@ func All() []Experiment {
 		{"ablation-maximality", "Direct MFI mining vs mine-all+filter", (*Runner).AblationMaximality},
 		{"ablation-pruning", "Frequent-item pruning fraction", (*Runner).AblationPruning},
 		{"ablation-workers", "Parallel block construction", (*Runner).AblationWorkers},
+		{"ablation-scoring-workers", "Parallel pair scoring", (*Runner).AblationScoringWorkers},
 		{"ablation-metablocking", "Meta-blocking comparison cleaning", (*Runner).AblationMetaBlocking},
 	}
 }

@@ -166,8 +166,12 @@ func fullDOB(r *record.Record) (string, bool) {
 // compareNameSets implements the trinary sameXName semantics over the two
 // value sets (case-insensitive).
 func compareNameSets(va, vb []string) string {
-	setA := lowerSet(va)
-	setB := lowerSet(vb)
+	return compareLowerSets(lowerSet(va), lowerSet(vb))
+}
+
+// compareLowerSets is compareNameSets over already-lowered distinct sets —
+// the form the profile cache snapshots per record.
+func compareLowerSets(setA, setB map[string]struct{}) string {
 	inter := 0
 	for x := range setA {
 		if _, ok := setB[x]; ok {

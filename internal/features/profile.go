@@ -1,0 +1,341 @@
+package features
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/gazetteer"
+	"repro/internal/record"
+	"repro/internal/similarity"
+)
+
+// Profile is a per-record snapshot of everything Extract re-derives from
+// raw strings on every pair: lowered name values and their q-gram sets,
+// parsed birth-date components, first-values of places and demographic
+// attributes, and (when the extractor's Geo implements
+// similarity.CoordResolver) gazetteer-resolved coordinates.
+//
+// ExtractProfiled over two profiles built by the same extractor produces a
+// Vector bit-identical to Extract over the underlying records; the
+// parallel scoring stage in internal/core relies on that equivalence.
+type Profile struct {
+	source string
+
+	names []nameProfile
+
+	// date holds the first BirthDay/BirthMonth/BirthYear values, parsed.
+	date [3]dateComponent
+	// dob is the fullDOB concatenation, present only with all three
+	// components.
+	dob    string
+	hasDOB bool
+
+	place [record.NumPlaceTypes][record.NumPlaceParts]firstValue
+	geo   [record.NumPlaceTypes]geoValue
+	// coordMode records whether geo coordinates were resolved at build
+	// time (Geo implemented similarity.CoordResolver).
+	coordMode bool
+
+	gender, profession firstValue
+}
+
+// nameProfile caches one name attribute's values: the lowered strings (for
+// Jaro-Winkler), the distinct lowered set (for sameXName), and the 2-gram
+// set of each value in insertion order (for XNdist).
+type nameProfile struct {
+	lower []string
+	set   map[string]struct{}
+	grams []map[string]struct{}
+}
+
+type dateComponent struct {
+	present bool
+	parsed  bool
+	value   int
+}
+
+type firstValue struct {
+	present bool
+	value   string
+}
+
+type geoValue struct {
+	present  bool
+	resolved bool
+	city     string
+	lat, lon float64
+}
+
+// Profile precomputes the record's pairwise-extraction inputs. Profiles
+// are immutable after construction and safe for concurrent use; they must
+// be paired with profiles built by the same extractor.
+func (e *Extractor) Profile(r *record.Record) *Profile {
+	p := &Profile{source: r.Source, names: make([]nameProfile, len(nameAttrs))}
+	for i, na := range nameAttrs {
+		vs := r.Values(na.t)
+		if len(vs) == 0 {
+			continue
+		}
+		np := nameProfile{
+			lower: make([]string, len(vs)),
+			set:   lowerSet(vs),
+			grams: make([]map[string]struct{}, len(vs)),
+		}
+		for j, v := range vs {
+			np.lower[j] = strings.ToLower(v)
+			np.grams[j] = similarity.QGrams(v, 2)
+		}
+		p.names[i] = np
+	}
+
+	for i, t := range []record.ItemType{record.BirthDay, record.BirthMonth, record.BirthYear} {
+		if v, ok := r.First(t); ok {
+			p.date[i].present = true
+			if n, err := strconv.Atoi(v); err == nil {
+				p.date[i].parsed = true
+				p.date[i].value = n
+			}
+		}
+	}
+	p.dob, p.hasDOB = fullDOB(r)
+
+	for pt := 0; pt < record.NumPlaceTypes; pt++ {
+		for pp := 0; pp < record.NumPlaceParts; pp++ {
+			if v, ok := r.First(record.PlaceItem(record.PlaceType(pt), record.PlacePart(pp))); ok {
+				p.place[pt][pp] = firstValue{present: true, value: v}
+			}
+		}
+	}
+	resolver, hasResolver := e.Geo.(similarity.CoordResolver)
+	p.coordMode = hasResolver
+	for pt := 0; pt < record.NumPlaceTypes; pt++ {
+		city := p.place[pt][record.City]
+		if !city.present {
+			continue
+		}
+		g := geoValue{present: true, city: city.value}
+		if hasResolver {
+			if lat, lon, ok := resolver.ResolveCoord(city.value); ok {
+				g.resolved = true
+				g.lat, g.lon = lat, lon
+			}
+		}
+		p.geo[pt] = g
+	}
+
+	if v, ok := r.First(record.Gender); ok {
+		p.gender = firstValue{present: true, value: v}
+	}
+	if v, ok := r.First(record.Profession); ok {
+		p.profession = firstValue{present: true, value: v}
+	}
+	return p
+}
+
+// ExtractProfiled computes the pair's feature vector from two cached
+// profiles. The result is bit-identical to Extract over the profiles'
+// records.
+func (e *Extractor) ExtractProfiled(a, b *Profile) Vector {
+	v := make(Vector, len(e.defs))
+	id := 0
+
+	// sameXName over the cached lowered sets.
+	for i := range nameAttrs {
+		na, nb := &a.names[i], &b.names[i]
+		if len(na.lower) == 0 || len(nb.lower) == 0 {
+			id++
+			continue
+		}
+		v[id] = Value{Present: true, Cat: compareLowerSets(na.set, nb.set)}
+		id++
+	}
+
+	// XNdist: max q-gram Jaccard over the cached gram sets.
+	for i := range nameAttrs {
+		na, nb := &a.names[i], &b.names[i]
+		if len(na.lower) == 0 || len(nb.lower) == 0 {
+			id++
+			continue
+		}
+		best := 0.0
+		for _, ga := range na.grams {
+			for _, gb := range nb.grams {
+				if s := similarity.JaccardSets(ga, gb); s > best {
+					best = s
+				}
+			}
+		}
+		v[id] = Value{Present: true, Num: best}
+		id++
+	}
+
+	// XNjw: max Jaro-Winkler over the cached lowered values.
+	for i := range nameAttrs {
+		na, nb := &a.names[i], &b.names[i]
+		if len(na.lower) == 0 || len(nb.lower) == 0 {
+			id++
+			continue
+		}
+		best := 0.0
+		for _, x := range na.lower {
+			for _, y := range nb.lower {
+				if s := similarity.JaroWinkler(x, y); s > best {
+					best = s
+				}
+			}
+		}
+		v[id] = Value{Present: true, Num: best}
+		id++
+	}
+
+	// Birth-date component distances over the parsed components.
+	for i := 0; i < 3; i++ {
+		da, db := a.date[i], b.date[i]
+		if da.present && db.present && da.parsed && db.parsed {
+			v[id] = Value{Present: true, Num: math.Abs(float64(da.value - db.value))}
+		}
+		id++
+	}
+
+	// samePlaceXPartY.
+	for pt := 0; pt < record.NumPlaceTypes; pt++ {
+		for pp := 0; pp < record.NumPlaceParts; pp++ {
+			pa, pb := a.place[pt][pp], b.place[pt][pp]
+			if pa.present && pb.present {
+				v[id] = Value{Present: true, Cat: boolCat(strings.EqualFold(pa.value, pb.value))}
+			}
+			id++
+		}
+	}
+
+	// PlaceXGeoDistance: Haversine over the resolved coordinates when both
+	// profiles carry them, otherwise through the Geo interface.
+	for pt := 0; pt < record.NumPlaceTypes; pt++ {
+		ga, gb := a.geo[pt], b.geo[pt]
+		if ga.present && gb.present && e.Geo != nil {
+			if a.coordMode && b.coordMode {
+				if ga.resolved && gb.resolved {
+					km := gazetteer.Haversine(ga.lat, ga.lon, gb.lat, gb.lon)
+					v[id] = Value{Present: true, Num: km}
+				}
+			} else if km, ok := e.Geo.Distance(ga.city, gb.city); ok {
+				v[id] = Value{Present: true, Num: km}
+			}
+		}
+		id++
+	}
+
+	// sameSource.
+	if a.source != "" && b.source != "" {
+		v[id] = Value{Present: true, Cat: boolCat(a.source == b.source)}
+	}
+	id++
+
+	// sameGender.
+	if a.gender.present && b.gender.present {
+		v[id] = Value{Present: true, Cat: boolCat(a.gender.value == b.gender.value)}
+	}
+	id++
+
+	// sameProfession.
+	if a.profession.present && b.profession.present {
+		v[id] = Value{Present: true, Cat: boolCat(strings.EqualFold(a.profession.value, b.profession.value))}
+	}
+	id++
+
+	// sameDOB.
+	if a.hasDOB && b.hasDOB {
+		v[id] = Value{Present: true, Cat: boolCat(a.dob == b.dob)}
+	}
+	id++
+
+	return v
+}
+
+// ProfileCache memoizes record profiles by BookID so repeated pair
+// extractions — the scoring worker pool, or ad-hoc query-time scoring —
+// pay the per-record derivation once. It is safe for concurrent use.
+type ProfileCache struct {
+	ex   *Extractor
+	mu   sync.RWMutex
+	byID map[int64]*Profile
+}
+
+// NewProfileCache returns an empty cache building profiles with ex.
+func NewProfileCache(ex *Extractor) *ProfileCache {
+	return &ProfileCache{ex: ex, byID: make(map[int64]*Profile)}
+}
+
+// Extractor returns the extractor the cache builds profiles with.
+func (c *ProfileCache) Extractor() *Extractor { return c.ex }
+
+// Len returns the number of cached profiles.
+func (c *ProfileCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.byID)
+}
+
+// Get returns the record's profile, building and caching it on a miss.
+func (c *ProfileCache) Get(r *record.Record) *Profile {
+	c.mu.RLock()
+	p, ok := c.byID[r.BookID]
+	c.mu.RUnlock()
+	if ok {
+		return p
+	}
+	p = c.ex.Profile(r)
+	c.mu.Lock()
+	// A concurrent builder may have won the race; keep the first entry so
+	// every caller sees one profile per record.
+	if prev, dup := c.byID[r.BookID]; dup {
+		p = prev
+	} else {
+		c.byID[r.BookID] = p
+	}
+	c.mu.Unlock()
+	return p
+}
+
+// Build precomputes profiles for the whole collection on the given number
+// of workers (<=0 means one per record chunk up to GOMAXPROCS is chosen by
+// the caller; Build clamps to at least 1). It returns the profiles aligned
+// with coll.Records, so index-based callers can bypass the map lookup.
+func (c *ProfileCache) Build(coll *record.Collection, workers int) []*Profile {
+	n := coll.Len()
+	profs := make([]*Profile, n)
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers && w*chunk < n; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				profs[i] = c.ex.Profile(coll.Records[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	c.mu.Lock()
+	for i, r := range coll.Records {
+		if _, dup := c.byID[r.BookID]; !dup {
+			c.byID[r.BookID] = profs[i]
+		} else {
+			profs[i] = c.byID[r.BookID]
+		}
+	}
+	c.mu.Unlock()
+	return profs
+}

@@ -1,0 +1,111 @@
+package features
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/record"
+)
+
+// assertVectorsEqual requires exact — bit-identical, not approximate —
+// equality between the plain and profiled extraction paths.
+func assertVectorsEqual(t *testing.T, tag string, want, got Vector) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: vector lengths differ: %d vs %d", tag, len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: feature %d (%s) differs: Extract=%+v ExtractProfiled=%+v",
+				tag, i, Defs()[i].Name, want[i], got[i])
+		}
+	}
+}
+
+// TestExtractProfiledGoldenEquality compares ExtractProfiled against
+// Extract over 1k random pairs of generated records, with a gazetteer Geo
+// (the CoordResolver fast path): the profiled vector must be bit-identical.
+func TestExtractProfiledGoldenEquality(t *testing.T) {
+	cfg := dataset.ItalyConfig()
+	cfg.Persons = 300
+	gen, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExtractor(gen.Gaz)
+	cache := NewProfileCache(ex)
+	records := gen.Collection.Records
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		a := records[rng.Intn(len(records))]
+		b := records[rng.Intn(len(records))]
+		want := ex.Extract(a, b)
+		got := ex.ExtractProfiled(cache.Get(a), cache.Get(b))
+		assertVectorsEqual(t, "gazetteer", want, got)
+	}
+	if cache.Len() == 0 || cache.Len() > gen.Collection.Len() {
+		t.Errorf("cache holds %d profiles for %d records", cache.Len(), gen.Collection.Len())
+	}
+}
+
+// TestExtractProfiledFallbackGeo exercises the non-CoordResolver Geo
+// fallback (distances resolved through the interface at pair time) and the
+// nil-Geo case.
+func TestExtractProfiledFallbackGeo(t *testing.T) {
+	a := rec(func(r *record.Record) {
+		r.Source = "list:1"
+		r.Add(record.FirstName, "Guido")
+		r.Add(record.LastName, "Foa")
+		r.Add(record.BirthYear, "1920")
+		r.Add(record.BirthMonth, "11")
+		r.Add(record.BirthDay, "18")
+		r.Add(record.BirthCity, "Torino")
+		r.Add(record.Gender, "0")
+		r.Add(record.Profession, "merchant")
+	})
+	b := rec(func(r *record.Record) {
+		r.Source = "list:2"
+		r.Add(record.FirstName, "Guido")
+		r.Add(record.LastName, "Foy")
+		r.Add(record.BirthYear, "1920")
+		r.Add(record.BirthCity, "Moncalieri")
+		r.Add(record.Gender, "0")
+	})
+	for _, tc := range []struct {
+		name string
+		ex   *Extractor
+	}{
+		{"fakeGeo", NewExtractor(fakeGeo{})},
+		{"nilGeo", NewExtractor(nil)},
+	} {
+		want := tc.ex.Extract(a, b)
+		got := tc.ex.ExtractProfiled(tc.ex.Profile(a), tc.ex.Profile(b))
+		assertVectorsEqual(t, tc.name, want, got)
+	}
+}
+
+// TestProfileCacheBuild checks the parallel Build path returns profiles
+// aligned with the collection and memoizes them for Get.
+func TestProfileCacheBuild(t *testing.T) {
+	cfg := dataset.ItalyConfig()
+	cfg.Persons = 80
+	gen, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExtractor(gen.Gaz)
+	cache := NewProfileCache(ex)
+	profs := cache.Build(gen.Collection, 4)
+	if len(profs) != gen.Collection.Len() {
+		t.Fatalf("Build returned %d profiles for %d records", len(profs), gen.Collection.Len())
+	}
+	if cache.Len() != gen.Collection.Len() {
+		t.Fatalf("cache holds %d profiles, want %d", cache.Len(), gen.Collection.Len())
+	}
+	for i, r := range gen.Collection.Records {
+		if cache.Get(r) != profs[i] {
+			t.Fatalf("Get(%d) did not return the built profile", r.BookID)
+		}
+	}
+}

@@ -75,6 +75,17 @@ func (g *Gazetteer) Places() []Place { return g.places }
 // Len returns the number of catalogue entries.
 func (g *Gazetteer) Len() int { return len(g.places) }
 
+// ResolveCoord resolves a city name or variant to its coordinates. It
+// satisfies similarity.CoordResolver: Distance(a, b) is exactly
+// Haversine over the two resolved coordinate pairs.
+func (g *Gazetteer) ResolveCoord(city string) (lat, lon float64, ok bool) {
+	p, ok := g.Lookup(city)
+	if !ok {
+		return 0, 0, false
+	}
+	return p.Lat, p.Lon, true
+}
+
 // Distance returns the great-circle distance in kilometres between the two
 // named cities. ok is false when either name is unknown.
 func (g *Gazetteer) Distance(cityA, cityB string) (km float64, ok bool) {

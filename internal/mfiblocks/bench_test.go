@@ -1,6 +1,11 @@
 package mfiblocks
 
-import "testing"
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchRng() *rand.Rand { return rand.New(rand.NewSource(42)) }
 
 func BenchmarkRun(b *testing.B) {
 	for _, persons := range []int{250, 500, 1000} {
@@ -15,6 +20,30 @@ func BenchmarkRun(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkEnforceNG measures the sparse-neighborhood filter with its
+// dense []int comparison budgets — the map it replaced dominated the
+// allocation profile of the blocking hot path.
+func BenchmarkEnforceNG(b *testing.B) {
+	const n = 2000
+	cfg := NewConfig()
+	cfg.MinScore = 0.0
+	rng := benchRng()
+	blocks := make([]*Block, 600)
+	for i := range blocks {
+		members := make([]int, 2+rng.Intn(6))
+		for j := range members {
+			members[j] = rng.Intn(n)
+		}
+		blocks[i] = &Block{Members: members, Score: 0.1 + rng.Float64()}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spent := make([]int, n)
+		enforceNG(&cfg, blocks, spent)
 	}
 }
 

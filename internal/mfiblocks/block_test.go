@@ -156,7 +156,7 @@ func TestEnforceNGOrderingAndThreshold(t *testing.T) {
 		{Members: []int{0, 2}, Score: 0.5}, // record 0 over budget
 		{Members: []int{3, 4}, Score: 0.3},
 	}
-	spent := make(map[int]int)
+	spent := make([]int, 5)
 	kept, th := enforceNG(&cfg, blocks, spent)
 	if len(kept) != 2 {
 		t.Fatalf("kept %d blocks: %+v", len(kept), kept)
@@ -181,7 +181,7 @@ func TestEnforceNGDropsBelowMinScore(t *testing.T) {
 		{Members: []int{0, 1}, Score: 0.6},
 		{Members: []int{2, 3}, Score: 0.4},
 	}
-	kept, _ := enforceNG(&cfg, blocks, make(map[int]int))
+	kept, _ := enforceNG(&cfg, blocks, make([]int, 4))
 	if len(kept) != 1 || kept[0].Score != 0.6 {
 		t.Errorf("MinScore filter failed: %+v", kept)
 	}

@@ -15,7 +15,13 @@ import (
 type Result struct {
 	// Blocks are the surviving soft clusters across all iterations.
 	Blocks []*Block
-	// Pairs are the distinct candidate pairs, as BookID pairs.
+	// Pairs are the distinct candidate pairs, as BookID pairs, in
+	// deterministic first-seen order: iterations run at decreasing
+	// minsup, blocks within an iteration are admitted in descending
+	// (score, -size) order, and a block enumerates its member pairs in
+	// member-index order. Two runs over the same collection and config
+	// produce the same slice — downstream scoring stages may chunk it
+	// freely and merge by chunk index without changing the result.
 	Pairs []record.Pair
 	// PairScores maps each candidate pair to the best score among the
 	// blocks containing it — the pair's blocking similarity.
@@ -66,8 +72,9 @@ func Run(cfg Config, coll *record.Collection) (*Result, error) {
 	minTh := cfg.MinScore
 	coveredCount := 0
 	// Comparison budgets are cumulative over the whole run: NG bounds the
-	// total comparisons a record may participate in.
-	spent := make(map[int]int)
+	// total comparisons a record may participate in. Keyed by the dense
+	// collection index, so a flat slice beats a map on this hot path.
+	spent := make([]int, n)
 
 	for minsup := cfg.MaxMinSup; minsup >= 2 && coveredCount < n; minsup-- {
 		// MFIs are mined over the still-uncovered records (Algorithm 1,
@@ -169,8 +176,9 @@ func buildBlocks(cfg *Config, sc *scorer, index *fpgrowth.Index, mask []bool, mf
 // with it) stays within NG*MaxMinSup, and a block vetoed by any member is
 // pruned. It also drops blocks scoring at or below MinScore. It returns
 // the surviving blocks (descending score) and the lowest surviving score
-// (the effective iteration threshold).
-func enforceNG(cfg *Config, blocks []*Block, spent map[int]int) (kept []*Block, minTh float64) {
+// (the effective iteration threshold). spent is indexed by dense record
+// index and sized to the collection.
+func enforceNG(cfg *Config, blocks []*Block, spent []int) (kept []*Block, minTh float64) {
 	limit := int(math.Ceil(cfg.NG * float64(cfg.MaxMinSup)))
 	if limit < 1 {
 		limit = 1

@@ -1,0 +1,71 @@
+package names
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzCanonical guards the name-normalization kernel the preprocessing
+// stage and the profile cache depend on: canonicalization must be
+// idempotent, stay inside the name's equivalence class, and be
+// case-insensitive.
+func FuzzCanonical(f *testing.F) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []string{"Avraham", "Yitzhak", "Bella", "Guido", "Sara", "Maria", "Isak", ""} {
+		f.Add(n)
+		f.Add(strings.ToUpper(n))
+		f.Add(Corrupt(rng, n)) // corrupted generator output
+		f.Add(Corrupt(rng, Corrupt(rng, n)))
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		c := Canonical(name)
+		if again := Canonical(c); again != c {
+			t.Fatalf("Canonical not idempotent: %q -> %q -> %q", name, c, again)
+		}
+		if !SameClass(name, c) {
+			t.Fatalf("Canonical(%q) = %q left the equivalence class", name, c)
+		}
+		if lower := Canonical(strings.ToLower(name)); !strings.EqualFold(lower, c) {
+			t.Fatalf("case-sensitive canonicalization: %q vs %q", lower, c)
+		}
+		vs := Variants(c)
+		if len(vs) == 0 || vs[0] != c {
+			t.Fatalf("Variants(%q) = %v, want the canonical first", c, vs)
+		}
+		for _, v := range vs {
+			if !SameClass(c, v) {
+				t.Fatalf("variant %q not SameClass with canonical %q", v, c)
+			}
+		}
+	})
+}
+
+// FuzzCorrupt checks the clerical-error generator never panics, preserves
+// short names, and emits valid UTF-8 — its output feeds the q-gram and
+// Jaro-Winkler kernels directly.
+func FuzzCorrupt(f *testing.F) {
+	for _, n := range []string{"Guido", "Foa", "ab", "Rywka", "Zimbul", ""} {
+		f.Add(int64(1), n)
+		f.Add(int64(99), n)
+	}
+	f.Fuzz(func(t *testing.T, seed int64, name string) {
+		if !utf8.ValidString(name) {
+			t.Skip("generator inputs are valid UTF-8")
+		}
+		rng := rand.New(rand.NewSource(seed))
+		got := Corrupt(rng, name)
+		if utf8.RuneCountInString(name) < 3 && got != name {
+			t.Fatalf("Corrupt changed short name %q -> %q", name, got)
+		}
+		if !utf8.ValidString(got) {
+			t.Fatalf("Corrupt(%q) produced invalid UTF-8 %q", name, got)
+		}
+		n := utf8.RuneCountInString(name)
+		g := utf8.RuneCountInString(got)
+		if g < n-1 || g > n+1 {
+			t.Fatalf("Corrupt(%q) changed length %d -> %d", name, n, g)
+		}
+	})
+}

@@ -9,12 +9,14 @@
 //	GET /api/search?first=&last=&certainty=0.3   relative search
 //	GET /api/entity?book=1016196&certainty=0.3   the report's entity
 //	GET /api/narrative?book=1016196&certainty=0.3 the entity's narrative
+//	GET /api/pair?a=1016196&b=1016197            re-score one report pair
 //	GET /api/stats                               collection statistics
 package server
 
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 
@@ -48,6 +50,7 @@ func New(res *core.Resolution, coll *record.Collection) *Server {
 	s.mux.HandleFunc("GET /api/search", s.handleSearch)
 	s.mux.HandleFunc("GET /api/entity", s.handleEntity)
 	s.mux.HandleFunc("GET /api/narrative", s.handleNarrative)
+	s.mux.HandleFunc("GET /api/pair", s.handlePair)
 	s.mux.HandleFunc("GET /api/stats", s.handleStats)
 	return s
 }
@@ -93,10 +96,35 @@ func (s *Server) certainty(r *http.Request) (float64, error) {
 		return s.DefaultCertainty, nil
 	}
 	c, err := strconv.ParseFloat(raw, 64)
-	if err != nil {
+	if err != nil || math.IsNaN(c) || math.IsInf(c, 0) {
+		// ParseFloat accepts "NaN" and "Inf", which would silently break
+		// the sorted certainty cut; reject them like any other bad input.
 		return 0, fmt.Errorf("bad certainty %q", raw)
 	}
 	return c, nil
+}
+
+// handlePair re-scores an arbitrary report pair through the resolution's
+// cached record profiles — repeated queries pay feature extraction once
+// per report, not once per request.
+func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
+	a, errA := strconv.ParseInt(r.URL.Query().Get("a"), 10, 64)
+	b, errB := strconv.ParseInt(r.URL.Query().Get("b"), 10, 64)
+	if errA != nil || errB != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("need numeric a and b book ids"))
+		return
+	}
+	m, err := s.res.ScorePair(a, b)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, struct {
+		A          int64   `json:"a"`
+		B          int64   `json:"b"`
+		Score      float64 `json:"score"`
+		BlockScore float64 `json:"block_score"`
+	}{A: m.Pair.A, B: m.Pair.B, Score: m.Score, BlockScore: m.BlockScore})
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {

@@ -137,6 +137,45 @@ func TestBadRequests(t *testing.T) {
 	get(t, s, "/api/entity?book=42", http.StatusNotFound)                  // unknown book
 }
 
+func TestNonFiniteCertaintyRejected(t *testing.T) {
+	s, _, _ := testServer(t)
+	// strconv.ParseFloat accepts all of these; the sorted certainty cut
+	// must never see them.
+	for _, raw := range []string{"NaN", "nan", "Inf", "+Inf", "-Inf", "Infinity"} {
+		get(t, s, "/api/search?last=Foa&certainty="+raw, http.StatusBadRequest)
+		get(t, s, "/api/stats?certainty="+raw, http.StatusBadRequest)
+	}
+	// Ordinary finite values still pass.
+	get(t, s, "/api/stats?certainty=0.5", http.StatusOK)
+}
+
+func TestPairEndpoint(t *testing.T) {
+	s, _, res := testServer(t)
+	if len(res.Matches) == 0 {
+		t.Fatal("no ranked matches to query")
+	}
+	m := res.Matches[0]
+	body := get(t, s, "/api/pair?a="+strconv.FormatInt(m.Pair.A, 10)+"&b="+strconv.FormatInt(m.Pair.B, 10), http.StatusOK)
+	var out struct {
+		A          int64   `json:"a"`
+		B          int64   `json:"b"`
+		Score      float64 `json:"score"`
+		BlockScore float64 `json:"block_score"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.A != m.Pair.A || out.B != m.Pair.B {
+		t.Errorf("pair echoed %d/%d, want %d/%d", out.A, out.B, m.Pair.A, m.Pair.B)
+	}
+	if out.Score != m.Score || out.BlockScore != m.BlockScore {
+		t.Errorf("scores %v/%v, want %v/%v", out.Score, out.BlockScore, m.Score, m.BlockScore)
+	}
+
+	get(t, s, "/api/pair?a=abc&b=1", http.StatusBadRequest)
+	get(t, s, "/api/pair?a=1&b=1", http.StatusNotFound) // unknown or self pair
+}
+
 func TestSearchTruncation(t *testing.T) {
 	s, _, _ := testServer(t)
 	s.MaxResults = 1

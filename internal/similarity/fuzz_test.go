@@ -1,0 +1,45 @@
+package similarity
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/names"
+)
+
+// FuzzJaccardQGrams guards the q-gram kernel the feature profile cache
+// snapshots per record: whatever the inputs, the similarity must stay in
+// [0,1], be symmetric, score a string against itself as 1, and agree with
+// the precomputed-set path (JaccardSets over QGrams) bit for bit.
+func FuzzJaccardQGrams(f *testing.F) {
+	// Seed corpus: clean names plus corrupted generator output — the
+	// clerical-error variants the pipeline actually compares.
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []string{"Guido", "Foa", "Avraham", "Rywka", "Capelluto", "Torino", ""} {
+		f.Add(n, n, 2)
+		f.Add(n, names.Corrupt(rng, n), 2)
+		f.Add(names.Corrupt(rng, n), names.Corrupt(rng, n), 3)
+	}
+	f.Add("a", "b", 0)
+	f.Add("héllo", "hèllo", 2) // multi-byte runes
+	f.Fuzz(func(t *testing.T, a, b string, q int) {
+		// QGrams pads with q-1 runes; clamp q to keep memory bounded.
+		if q < 1 {
+			q = 1
+		}
+		q = 1 + q%8
+		s := JaccardQGrams(a, b, q)
+		if s < 0 || s > 1 {
+			t.Fatalf("JaccardQGrams(%q, %q, %d) = %v out of [0,1]", a, b, q, s)
+		}
+		if rev := JaccardQGrams(b, a, q); rev != s {
+			t.Fatalf("asymmetric: (%q,%q)=%v but (%q,%q)=%v", a, b, s, b, a, rev)
+		}
+		if self := JaccardQGrams(a, a, q); self != 1 {
+			t.Fatalf("JaccardQGrams(%q, %q, %d) = %v, want 1", a, a, q, self)
+		}
+		if viaSets := JaccardSets(QGrams(a, q), QGrams(b, q)); viaSets != s {
+			t.Fatalf("JaccardSets disagrees with JaccardQGrams: %v vs %v", viaSets, s)
+		}
+	})
+}

@@ -13,6 +13,17 @@ type GeoDistancer interface {
 	Distance(cityA, cityB string) (km float64, ok bool)
 }
 
+// CoordResolver is an optional interface a GeoDistancer may implement to
+// let callers resolve a place name to coordinates once and compute many
+// distances from the cached result. Implementations must keep the two
+// views consistent: Distance(a, b) succeeds iff ResolveCoord succeeds for
+// both names, and returns the great-circle distance between the resolved
+// coordinates — so precomputing coordinates yields bit-identical
+// distances.
+type CoordResolver interface {
+	ResolveCoord(city string) (lat, lon float64, ok bool)
+}
+
 // Date-component normalization factors of the paper's BXDist features and
 // Eq. 1: 31 for days, 12 for months. Years use 50 inside fsim (Eq. 1) and
 // 100 for the BYearDist feature, per the paper's two definitions.

@@ -141,6 +141,14 @@ func JaccardQGrams(a, b string, q int) float64 {
 	return jaccard(QGrams(a, q), QGrams(b, q))
 }
 
+// JaccardSets returns the Jaccard coefficient of two precomputed string
+// sets. JaccardSets(QGrams(a, q), QGrams(b, q)) equals
+// JaccardQGrams(a, b, q) exactly — the profile cache in internal/features
+// relies on this to snapshot q-gram sets once per record.
+func JaccardSets(a, b map[string]struct{}) float64 {
+	return jaccard(a, b)
+}
+
 func jaccard(a, b map[string]struct{}) float64 {
 	if len(a) == 0 && len(b) == 0 {
 		return 1
