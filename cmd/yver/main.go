@@ -6,7 +6,7 @@
 // Usage:
 //
 //	yver -in records.jsonl [-ng 3.5] [-maxminsup 5] [-certainty 0.3]
-//	     [-samesrc] [-top 20] [-clusters]
+//	     [-samesrc] [-top 20] [-clusters] [-report out.json] [-v]
 package main
 
 import (
@@ -21,6 +21,7 @@ import (
 	"repro/internal/mfiblocks"
 	"repro/internal/record"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -35,7 +36,10 @@ func main() {
 	last := flag.String("last", "", "search: last name")
 	modelPath := flag.String("model", "", "trained ADTree model (from yvtrain); enables classification")
 	workers := flag.Int("workers", 0, "pair-scoring workers (0 = GOMAXPROCS, 1 = serial)")
+	reportPath := flag.String("report", "", "write the run's telemetry report (JSON) to this file")
+	verbose := flag.Bool("v", false, "debug logging (per-stage and per-iteration telemetry)")
 	flag.Parse()
+	telemetry.SetVerbose(*verbose)
 
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "yver: -in is required")
@@ -73,9 +77,21 @@ func main() {
 		opts.Model = model
 		opts.Classify = true
 	}
+	// Validate at the flag boundary: a bad -workers or NaN parameter
+	// should fail here, not deep inside the scoring pool.
+	if err := opts.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "yver: %v\n", err)
+		os.Exit(2)
+	}
 	res, err := core.Run(opts, coll)
 	if err != nil {
 		fatal(err)
+	}
+	if *reportPath != "" {
+		if err := res.Report.WriteFile(*reportPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("telemetry report written to %s\n", *reportPath)
 	}
 
 	accepted := res.AtCertainty(*certainty)

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	yvserve -in records.jsonl [-model model.json] [-addr :8080]
+//	yvserve -in records.jsonl [-model model.json] [-addr :8080] [-pprof] [-v]
 //
 // Then:
 //
@@ -12,6 +12,8 @@
 //	curl 'localhost:8080/api/entity?book=1000042&certainty=0.3'
 //	curl 'localhost:8080/api/narrative?book=1000042'
 //	curl 'localhost:8080/api/stats?certainty=0.5'
+//	curl 'localhost:8080/api/report'
+//	curl 'localhost:8080/metrics'
 package main
 
 import (
@@ -28,6 +30,7 @@ import (
 	"repro/internal/record"
 	"repro/internal/server"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -36,7 +39,10 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	ng := flag.Float64("ng", 3.5, "neighborhood growth parameter")
 	workers := flag.Int("workers", 0, "pair-scoring workers (0 = GOMAXPROCS, 1 = serial)")
+	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	verbose := flag.Bool("v", false, "debug logging (per-request and per-stage telemetry)")
 	flag.Parse()
+	telemetry.SetVerbose(*verbose)
 
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "yvserve: -in is required")
@@ -72,6 +78,10 @@ func main() {
 		}
 		opts.Model = model
 	}
+	if err := opts.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "yvserve: %v\n", err)
+		os.Exit(2)
+	}
 
 	fmt.Printf("resolving %d records...\n", coll.Len())
 	res, err := core.Run(opts, coll)
@@ -81,7 +91,11 @@ func main() {
 	fmt.Printf("resolved: %d ranked matches\n", len(res.Matches))
 
 	srv := server.New(res, coll)
-	fmt.Printf("serving on %s (try /api/stats)\n", *addr)
+	if *pprofFlag {
+		srv.EnablePprof()
+		fmt.Println("pprof enabled at /debug/pprof/")
+	}
+	fmt.Printf("serving on %s (try /api/stats, /metrics, /api/report)\n", *addr)
 	if err := http.ListenAndServe(*addr, srv); err != nil {
 		fatal(err)
 	}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/features"
 	"repro/internal/mfiblocks"
 	"repro/internal/record"
+	"repro/internal/telemetry"
 )
 
 // benchScoring prepares the scoring stage's inputs once: a generated
@@ -63,7 +64,7 @@ func BenchmarkScorePairs(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				cache := features.NewProfileCache(features.NewExtractor(opts.Geo))
-				st := scorePairs(&opts, bs.work, bs.blk, cache, workers)
+				st := scorePairs(&opts, bs.work, bs.blk, cache, workers, telemetry.NewRegistry())
 				if len(st.matches) == 0 {
 					b.Fatal("no matches scored")
 				}

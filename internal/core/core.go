@@ -13,6 +13,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/adtree"
 	"repro/internal/features"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/mfiblocks"
 	"repro/internal/record"
 	"repro/internal/similarity"
+	"repro/internal/telemetry"
 )
 
 // Options configures a pipeline run.
@@ -51,6 +53,10 @@ type Options struct {
 	// identical Matches order and discard counters — for every worker
 	// count.
 	Workers int
+	// Metrics receives pipeline counters, timings, and distributions
+	// (core_*, mfiblocks_*, fpgrowth_* families); nil falls back to
+	// telemetry.Default().
+	Metrics *telemetry.Registry
 }
 
 // NewOptions returns the deployment defaults: preprocessing on, default
@@ -70,6 +76,30 @@ func (o *Options) workers() int {
 		return o.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+func (o *Options) metrics() *telemetry.Registry {
+	if o.Metrics != nil {
+		return o.Metrics
+	}
+	return telemetry.Default()
+}
+
+// Validate reports the first problem with the options. Run calls it,
+// and the CLIs call it right after flag parsing so a bad -workers or a
+// NaN blocking parameter fails at the flag, not deep inside the
+// scoring pool.
+func (o *Options) Validate() error {
+	if o.Workers < 0 {
+		return fmt.Errorf("core: Workers must be >= 0, got %d", o.Workers)
+	}
+	if o.Classify && o.Model == nil {
+		return fmt.Errorf("core: Classify requires a Model")
+	}
+	if err := o.Blocking.Validate(); err != nil {
+		return fmt.Errorf("core: blocking: %w", err)
+	}
+	return nil
 }
 
 // RankedMatch is one candidate pair with its similarity evidence.
@@ -95,6 +125,11 @@ type Resolution struct {
 	DiscardedSameSrc int
 	// DiscardedByModel counts candidates dropped by classification.
 	DiscardedByModel int
+	// Report is the run's telemetry breakdown: per-stage wall clock,
+	// blocking iterations, scoring counters, and the score
+	// distribution. The server exposes it at /api/report; the CLIs
+	// write it with -report.
+	Report *telemetry.RunReport
 
 	// model and profiles carry the scoring machinery into the query
 	// paths: ScorePair (and the server's /api/pair) re-score ad-hoc pairs
@@ -108,11 +143,22 @@ type Resolution struct {
 	clusterCache map[float64][]*Entity
 }
 
-// scoreResult is one scoring stage's output before ranking.
+// scoreResult is one scoring stage's output before ranking. The
+// telemetry fields (chunks, scores) ride along so Run can fold them
+// into the RunReport without re-walking the matches.
 type scoreResult struct {
 	matches []RankedMatch
 	sameSrc int
 	byModel int
+	chunks  int
+	scores  *telemetry.Histogram
+}
+
+// observe folds one match score into the stage's local distribution.
+func (s *scoreResult) observe(score float64) {
+	if s.scores != nil {
+		s.scores.Observe(score)
+	}
 }
 
 // scoreChunkSize is the number of candidate pairs a scoring worker claims
@@ -120,9 +166,32 @@ type scoreResult struct {
 // per-chunk bookkeeping is noise.
 const scoreChunkSize = 512
 
-// Run executes the pipeline.
+// Run executes the pipeline, recording a per-stage telemetry breakdown
+// (attached to the Resolution as Report) and registry metrics along the
+// way.
 func Run(opts Options, coll *record.Collection) (*Resolution, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	reg := opts.metrics()
+	if opts.Blocking.Metrics == nil {
+		// One registry for the whole run: blocking (and its miner)
+		// report where the pipeline reports.
+		opts.Blocking.Metrics = reg
+	}
+	report := &telemetry.RunReport{
+		SchemaVersion: telemetry.ReportSchemaVersion,
+		Records:       coll.Len(),
+		Workers:       opts.workers(),
+	}
+	stage := func(name string, d time.Duration, counters map[string]int64) {
+		reg.Timer("core_stage_seconds", telemetry.L("stage", name)).Observe(d)
+		report.AddStage(name, d, counters)
+		telemetry.Log().Debug("core stage done", "stage", name, "elapsed", d)
+	}
+
 	work := coll
+	t0 := time.Now()
 	if opts.Preprocess {
 		gaz := opts.Gazetteer
 		if gaz == nil {
@@ -134,27 +203,111 @@ func Run(opts Options, coll *record.Collection) (*Resolution, error) {
 			return nil, fmt.Errorf("core: preprocess: %w", err)
 		}
 	}
-	if opts.Classify && opts.Model == nil {
-		return nil, fmt.Errorf("core: Classify requires a Model")
-	}
+	stage("preprocess", time.Since(t0), map[string]int64{"records": int64(work.Len())})
 
+	t0 = time.Now()
 	blk, err := mfiblocks.Run(opts.Blocking, work)
 	if err != nil {
 		return nil, fmt.Errorf("core: blocking: %w", err)
 	}
+	stage("blocking", time.Since(t0), map[string]int64{
+		"blocks":     int64(len(blk.Blocks)),
+		"pairs":      int64(len(blk.Pairs)),
+		"iterations": int64(len(blk.Iterations)),
+	})
+	report.Blocking = blockingReport(blk)
 
 	res := &Resolution{
 		Blocking:   blk,
 		Collection: work,
 		model:      opts.Model,
 		profiles:   features.NewProfileCache(features.NewExtractor(opts.Geo)),
+		Report:     report,
 	}
-	st := scorePairs(&opts, work, blk, res.profiles, opts.workers())
+
+	t0 = time.Now()
+	st := scorePairs(&opts, work, blk, res.profiles, opts.workers(), reg)
 	res.Matches = st.matches
 	res.DiscardedSameSrc = st.sameSrc
 	res.DiscardedByModel = st.byModel
+	stage("scoring", time.Since(t0), map[string]int64{
+		"candidates":       int64(len(blk.Pairs)),
+		"matches":          int64(len(st.matches)),
+		"same_src_dropped": int64(st.sameSrc),
+		"model_dropped":    int64(st.byModel),
+	})
+
+	t0 = time.Now()
 	sortMatches(res.Matches)
+	stage("rank", time.Since(t0), map[string]int64{"matches": int64(len(res.Matches))})
+
+	report.Scoring = scoringReport(&st, blk, res.profiles, opts.workers())
+	reg.Counter("core_runs_total").Inc()
+	reg.Counter("core_candidate_pairs_total").Add(int64(len(blk.Pairs)))
+	reg.Counter("core_matches_total").Add(int64(len(res.Matches)))
+	reg.Counter("core_samesrc_dropped_total").Add(int64(st.sameSrc))
+	reg.Counter("core_model_dropped_total").Add(int64(st.byModel))
+	if st.scores != nil {
+		reg.Histogram("core_score_distribution", telemetry.ScoreBuckets).Merge(st.scores)
+	}
+	cs := res.profiles.Stats()
+	reg.Gauge("core_profiles_cached").Set(float64(cs.Size))
+	telemetry.Log().Info("core run done",
+		"records", work.Len(), "candidates", len(blk.Pairs),
+		"matches", len(res.Matches), "workers", opts.workers(),
+		"elapsed", time.Duration(report.TotalNS))
 	return res, nil
+}
+
+// blockingReport converts the blocking result into its report form.
+func blockingReport(blk *mfiblocks.Result) *telemetry.BlockingReport {
+	covered := 0
+	for _, c := range blk.Covered {
+		if c {
+			covered++
+		}
+	}
+	br := &telemetry.BlockingReport{
+		Blocks:  len(blk.Blocks),
+		Pairs:   len(blk.Pairs),
+		Covered: covered,
+	}
+	for _, it := range blk.Iterations {
+		br.Iterations = append(br.Iterations, telemetry.IterationReport{
+			MinSup:     it.MinSup,
+			MFIs:       it.MFIs,
+			Blocks:     it.Blocks,
+			CSPruned:   it.CSPruned,
+			NGPruned:   it.NGPruned,
+			NewPairs:   it.NewPairs,
+			CoveredNow: it.CoveredNow,
+			MinTh:      it.MinTh,
+			DurationNS: it.Elapsed.Nanoseconds(),
+		})
+	}
+	return br
+}
+
+// scoringReport converts the scoring stage's outcome into its report
+// form.
+func scoringReport(st *scoreResult, blk *mfiblocks.Result, cache *features.ProfileCache, workers int) *telemetry.ScoringReport {
+	cs := cache.Stats()
+	sr := &telemetry.ScoringReport{
+		Candidates:     len(blk.Pairs),
+		SameSrcDropped: st.sameSrc,
+		ModelDropped:   st.byModel,
+		Matches:        len(st.matches),
+		Workers:        workers,
+		Chunks:         st.chunks,
+		ProfilesBuilt:  int(cs.Built),
+		ProfileHits:    cs.Hits,
+		ProfileMisses:  cs.Misses,
+	}
+	if st.scores != nil {
+		snap := st.scores.Snapshot()
+		sr.Scores = &snap
+	}
+	return sr
 }
 
 // sortMatches ranks matches by descending score, breaking ties by pair —
@@ -179,18 +332,28 @@ func sortMatches(ms []RankedMatch) {
 // pairs are scored on a chunked worker pool over cached record profiles,
 // with chunk-ordered merging so the output is identical to the serial
 // path for every worker count.
-func scorePairs(opts *Options, work *record.Collection, blk *mfiblocks.Result, cache *features.ProfileCache, workers int) scoreResult {
+func scorePairs(opts *Options, work *record.Collection, blk *mfiblocks.Result, cache *features.ProfileCache, workers int, reg *telemetry.Registry) scoreResult {
 	if workers <= 1 || len(blk.Pairs) == 0 {
 		return scoreSerial(opts, work, blk, cache.Extractor())
 	}
 
+	t0 := time.Now()
 	profs := cache.Build(work, workers)
+	reg.Timer("core_profile_build_seconds").Observe(time.Since(t0))
+
 	pairs := blk.Pairs
 	numChunks := (len(pairs) + scoreChunkSize - 1) / scoreChunkSize
 	if workers > numChunks {
 		workers = numChunks
 	}
 	chunks := make([]scoreResult, numChunks)
+	// Shared instruments: workers touch them once per chunk (or merge
+	// once at exit for the per-pair score distribution), so the hot
+	// per-pair loop never contends on a shared cache line.
+	scores := telemetry.NewHistogram(telemetry.ScoreBuckets)
+	chunkTimer := reg.Timer("core_score_chunk_seconds")
+	chunkCounter := reg.Counter("core_score_chunks_total")
+	pairCounter := reg.Counter("core_scored_pairs_total")
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -198,11 +361,13 @@ func scorePairs(opts *Options, work *record.Collection, blk *mfiblocks.Result, c
 		go func() {
 			defer wg.Done()
 			ex := cache.Extractor()
+			local := telemetry.NewHistogram(telemetry.ScoreBuckets)
 			for {
 				c := int(next.Add(1)) - 1
 				if c >= numChunks {
-					return
+					break
 				}
+				tc := time.Now()
 				lo, hi := c*scoreChunkSize, (c+1)*scoreChunkSize
 				if hi > len(pairs) {
 					hi = len(pairs)
@@ -224,15 +389,20 @@ func scorePairs(opts *Options, work *record.Collection, blk *mfiblocks.Result, c
 							continue
 						}
 					}
+					local.Observe(m.Score)
 					out.matches = append(out.matches, m)
 				}
 				chunks[c] = out
+				chunkTimer.Observe(time.Since(tc))
+				chunkCounter.Inc()
+				pairCounter.Add(int64(hi - lo))
 			}
+			scores.Merge(local)
 		}()
 	}
 	wg.Wait()
 
-	var total scoreResult
+	total := scoreResult{chunks: numChunks, scores: scores}
 	n := 0
 	for i := range chunks {
 		n += len(chunks[i].matches)
@@ -246,10 +416,12 @@ func scorePairs(opts *Options, work *record.Collection, blk *mfiblocks.Result, c
 	return total
 }
 
-// scoreSerial is the seed's serial scoring loop, byte-for-byte: one
-// goroutine, per-pair Extract with no profile cache.
+// scoreSerial is the seed's serial scoring loop — one goroutine,
+// per-pair Extract with no profile cache — producing the exact seed
+// Matches; the score-distribution observations are new but do not
+// touch the outputs.
 func scoreSerial(opts *Options, work *record.Collection, blk *mfiblocks.Result, ex *features.Extractor) scoreResult {
-	var out scoreResult
+	out := scoreResult{scores: telemetry.NewHistogram(telemetry.ScoreBuckets)}
 	for _, p := range blk.Pairs {
 		ra, rb := work.ByID(p.A), work.ByID(p.B)
 		if opts.SameSrc && ra.Source != "" && ra.Source == rb.Source {
@@ -265,6 +437,7 @@ func scoreSerial(opts *Options, work *record.Collection, blk *mfiblocks.Result, 
 				continue
 			}
 		}
+		out.observe(m.Score)
 		out.matches = append(out.matches, m)
 	}
 	return out

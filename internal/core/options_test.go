@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/adtree"
@@ -8,6 +10,51 @@ import (
 	"repro/internal/mfiblocks"
 	"repro/internal/record"
 )
+
+func TestOptionsValidate(t *testing.T) {
+	valid := func() Options {
+		return Options{Blocking: mfiblocks.NewConfig()}
+	}
+	if err := validOpts(valid()).Validate(); err != nil {
+		t.Fatalf("valid options rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		mut  func(*Options)
+		want string
+	}{
+		{"negative workers", func(o *Options) { o.Workers = -1 }, "Workers"},
+		{"classify without model", func(o *Options) { o.Classify = true }, "Model"},
+		{"NaN NG", func(o *Options) { o.Blocking.NG = math.NaN() }, "NG"},
+		{"Inf P", func(o *Options) { o.Blocking.P = math.Inf(1) }, "P"},
+		{"NaN prune fraction", func(o *Options) { o.Blocking.PruneFraction = math.NaN() }, "PruneFraction"},
+		{"NaN min score", func(o *Options) { o.Blocking.MinScore = math.NaN() }, "MinScore"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := valid()
+			tc.mut(&o)
+			err := o.Validate()
+			if err == nil {
+				t.Fatalf("%s accepted", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+			// Run must refuse the same options at the door.
+			empty, cerr := record.NewCollection(nil)
+			if cerr != nil {
+				t.Fatal(cerr)
+			}
+			if _, runErr := Run(o, empty); runErr == nil {
+				t.Errorf("Run accepted options Validate rejects")
+			}
+		})
+	}
+}
+
+func validOpts(o Options) *Options { return &o }
 
 func TestNewOptionsDefaults(t *testing.T) {
 	fx := newFixture(t, 100)

@@ -12,6 +12,9 @@ package fpgrowth
 import (
 	"fmt"
 	"sort"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Itemset is one mined itemset with its support count.
@@ -94,6 +97,9 @@ type Miner struct {
 	// Pruned items are excluded from mining entirely (the paper prunes
 	// the most frequent .03% of items).
 	pruned map[int]bool
+	// Metrics, when set, receives tree-build and mining timings plus
+	// mined-itemset counts (fpgrowth_* families). Nil disables.
+	Metrics *telemetry.Registry
 }
 
 // NewMiner builds a miner over the transactions. Each transaction must be
@@ -119,12 +125,17 @@ func (m *Miner) Mine(minsup int, active []int) []Itemset {
 	if minsup < 1 {
 		minsup = 1
 	}
+	t0 := time.Now()
 	tree, _ := m.buildTree(minsup, active)
+	m.Metrics.Timer("fpgrowth_tree_build_seconds").Observe(time.Since(t0))
+	t1 := time.Now()
 	var out []Itemset
 	mineTree(tree, nil, minsup, &out)
 	for i := range out {
 		sort.Ints(out[i].Items)
 	}
+	m.Metrics.Timer("fpgrowth_mine_seconds").Observe(time.Since(t1))
+	m.Metrics.Counter("fpgrowth_itemsets_total").Add(int64(len(out)))
 	return out
 }
 

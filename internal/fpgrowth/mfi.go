@@ -1,6 +1,9 @@
 package fpgrowth
 
-import "sort"
+import (
+	"sort"
+	"time"
+)
 
 // MineMaximal returns only the maximal frequent itemsets: frequent itemsets
 // with no frequent strict superset (over the same active transactions and
@@ -12,7 +15,10 @@ func (m *Miner) MineMaximal(minsup int, active []int) []Itemset {
 	if minsup < 1 {
 		minsup = 1
 	}
+	t0 := time.Now()
 	tree, rank := m.buildTree(minsup, active)
+	m.Metrics.Timer("fpgrowth_tree_build_seconds").Observe(time.Since(t0))
+	t1 := time.Now()
 	store := newMFIStore()
 	fpmax(tree, nil, minsup, rank, store)
 	// Safety net: the structural-order argument guarantees no stored set
@@ -29,6 +35,8 @@ func (m *Miner) MineMaximal(minsup int, active []int) []Itemset {
 		}
 		return len(x) < len(y)
 	})
+	m.Metrics.Timer("fpgrowth_mine_seconds").Observe(time.Since(t1))
+	m.Metrics.Counter("fpgrowth_mfis_total").Add(int64(len(out)))
 	return out
 }
 

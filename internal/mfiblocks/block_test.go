@@ -157,7 +157,7 @@ func TestEnforceNGOrderingAndThreshold(t *testing.T) {
 		{Members: []int{3, 4}, Score: 0.3},
 	}
 	spent := make([]int, 5)
-	kept, th := enforceNG(&cfg, blocks, spent)
+	kept, th, ngPruned := enforceNG(&cfg, blocks, spent)
 	if len(kept) != 2 {
 		t.Fatalf("kept %d blocks: %+v", len(kept), kept)
 	}
@@ -167,8 +167,11 @@ func TestEnforceNGOrderingAndThreshold(t *testing.T) {
 	if th != 0.3 {
 		t.Errorf("threshold = %v, want lowest kept score", th)
 	}
+	if ngPruned != 1 {
+		t.Errorf("ngPruned = %d, want 1", ngPruned)
+	}
 	// Budgets persist: a second call sees record 3/4 exhausted.
-	kept2, _ := enforceNG(&cfg, []*Block{{Members: []int{3, 4}, Score: 0.8}}, spent)
+	kept2, _, _ := enforceNG(&cfg, []*Block{{Members: []int{3, 4}, Score: 0.8}}, spent)
 	if len(kept2) != 0 {
 		t.Errorf("lifetime budget not enforced: %+v", kept2)
 	}
@@ -181,7 +184,7 @@ func TestEnforceNGDropsBelowMinScore(t *testing.T) {
 		{Members: []int{0, 1}, Score: 0.6},
 		{Members: []int{2, 3}, Score: 0.4},
 	}
-	kept, _ := enforceNG(&cfg, blocks, make([]int, 4))
+	kept, _, _ := enforceNG(&cfg, blocks, make([]int, 4))
 	if len(kept) != 1 || kept[0].Score != 0.6 {
 		t.Errorf("MinScore filter failed: %+v", kept)
 	}

@@ -8,10 +8,12 @@ package mfiblocks
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 
 	"repro/internal/record"
 	"repro/internal/similarity"
+	"repro/internal/telemetry"
 )
 
 // Config parameterizes a run. NewConfig supplies the defaults used across
@@ -45,6 +47,9 @@ type Config struct {
 	// Workers bounds the goroutines used for block construction and
 	// scoring; 0 means GOMAXPROCS.
 	Workers int
+	// Metrics receives blocking-stage counters and timings (mfiblocks_*
+	// and fpgrowth_* families); nil falls back to telemetry.Default().
+	Metrics *telemetry.Registry
 }
 
 // NewConfig returns the defaults the paper's Italy experiments settle on:
@@ -59,8 +64,19 @@ func NewConfig() Config {
 	}
 }
 
-// Validate reports the first problem with the configuration.
+// Validate reports the first problem with the configuration. NaN fails
+// every ordered comparison, so the finiteness checks come first — a
+// NaN NG or P would otherwise slip through and poison every block
+// score downstream.
 func (c *Config) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{{"P", c.P}, {"NG", c.NG}, {"PruneFraction", c.PruneFraction}, {"MinScore", c.MinScore}} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("mfiblocks: %s must be finite, got %v", f.name, f.v)
+		}
+	}
 	switch {
 	case c.MaxMinSup < 2:
 		return fmt.Errorf("mfiblocks: MaxMinSup must be >= 2, got %d", c.MaxMinSup)
@@ -74,6 +90,14 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("mfiblocks: ExpertSim requires Geo")
 	}
 	return nil
+}
+
+// metrics resolves the registry blocking telemetry lands in.
+func (c *Config) metrics() *telemetry.Registry {
+	if c.Metrics != nil {
+		return c.Metrics
+	}
+	return telemetry.Default()
 }
 
 func (c *Config) workers() int {

@@ -4,9 +4,12 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/fpgrowth"
 	"repro/internal/record"
+	"repro/internal/telemetry"
 )
 
 // Result is the outcome of a run: the surviving soft blocks, the candidate
@@ -41,9 +44,12 @@ type IterationStats struct {
 	MinSup     int
 	MFIs       int
 	Blocks     int     // blocks surviving all filters
+	CSPruned   int     // blocks dropped by the compact-set size cap
+	NGPruned   int     // blocks vetoed by the sparse-neighborhood cap
 	NewPairs   int     // pairs first seen this iteration
 	CoveredNow int     // total records covered after the iteration
 	MinTh      float64 // score threshold after NG enforcement
+	Elapsed    time.Duration
 }
 
 // Run executes MFIBlocks over the collection.
@@ -51,6 +57,7 @@ func Run(cfg Config, coll *record.Collection) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	reg := cfg.metrics()
 	n := coll.Len()
 	dict := record.BuildDictionary(coll)
 	encoded := make([][]int, n)
@@ -58,6 +65,7 @@ func Run(cfg Config, coll *record.Collection) (*Result, error) {
 		encoded[i] = dict.Encode(r)
 	}
 	miner := fpgrowth.NewMiner(encoded)
+	miner.Metrics = reg
 	if cfg.PruneFraction > 0 {
 		miner.Prune(dict.MostFrequent(cfg.PruneFraction))
 	}
@@ -77,6 +85,7 @@ func Run(cfg Config, coll *record.Collection) (*Result, error) {
 	spent := make([]int, n)
 
 	for minsup := cfg.MaxMinSup; minsup >= 2 && coveredCount < n; minsup-- {
+		iterStart := time.Now()
 		// MFIs are mined over the still-uncovered records (Algorithm 1,
 		// line 6), but FindSupport materializes each block over the whole
 		// database: a covered record may still join a new block — only
@@ -89,16 +98,16 @@ func Run(cfg Config, coll *record.Collection) (*Result, error) {
 		}
 
 		mfis := miner.MineMaximal(minsup, active)
-		blocks := buildBlocks(&cfg, sc, index, nil, mfis, minsup)
+		blocks, csPruned := buildBlocks(&cfg, sc, index, nil, mfis, minsup)
 
 		// Enforce the sparse-neighborhood condition for this iteration:
 		// every record admits blocks best-first while its distinct
 		// neighborhood stays within NG times the a-priori duplicate
 		// estimate (MaxMinSup); a block any member vetoes is pruned.
-		kept, iterTh := enforceNG(&cfg, blocks, spent)
+		kept, iterTh, ngPruned := enforceNG(&cfg, blocks, spent)
 		minTh = math.Max(minTh, iterTh)
 
-		stats := IterationStats{MinSup: minsup, MFIs: len(mfis), MinTh: iterTh}
+		stats := IterationStats{MinSup: minsup, MFIs: len(mfis), MinTh: iterTh, CSPruned: csPruned, NGPruned: ngPruned}
 		for _, b := range kept {
 			stats.Blocks++
 			bi := len(res.Blocks)
@@ -125,16 +134,33 @@ func Run(cfg Config, coll *record.Collection) (*Result, error) {
 			}
 		}
 		stats.CoveredNow = coveredCount
+		stats.Elapsed = time.Since(iterStart)
 		res.Iterations = append(res.Iterations, stats)
+
+		reg.Counter("mfiblocks_iterations_total").Inc()
+		reg.Counter("mfiblocks_mfis_total").Add(int64(stats.MFIs))
+		reg.Counter("mfiblocks_blocks_total").Add(int64(stats.Blocks))
+		reg.Counter("mfiblocks_pairs_total").Add(int64(stats.NewPairs))
+		reg.Counter("mfiblocks_cs_pruned_total").Add(int64(stats.CSPruned))
+		reg.Counter("mfiblocks_ng_pruned_total").Add(int64(stats.NGPruned))
+		reg.Gauge("mfiblocks_covered_records").Set(float64(coveredCount))
+		reg.Timer("mfiblocks_iteration_seconds").Observe(stats.Elapsed)
+		telemetry.Log().Debug("mfiblocks iteration",
+			"minsup", minsup, "mfis", stats.MFIs, "blocks", stats.Blocks,
+			"cs_pruned", stats.CSPruned, "ng_pruned", stats.NGPruned,
+			"new_pairs", stats.NewPairs, "covered", coveredCount, "of", n,
+			"min_th", iterTh, "elapsed", stats.Elapsed)
 	}
 	return res, nil
 }
 
 // buildBlocks materializes and scores the MFI supports in parallel,
-// dropping blocks that are too small (<2) or exceed the compact-set cap.
-func buildBlocks(cfg *Config, sc *scorer, index *fpgrowth.Index, mask []bool, mfis []fpgrowth.Itemset, minsup int) []*Block {
+// dropping blocks that are too small (<2) or exceed the compact-set
+// cap. It also reports how many blocks the compact-set cap pruned.
+func buildBlocks(cfg *Config, sc *scorer, index *fpgrowth.Index, mask []bool, mfis []fpgrowth.Itemset, minsup int) ([]*Block, int) {
 	maxSize := int(float64(minsup) * cfg.P)
 	out := make([]*Block, len(mfis))
+	var csPruned atomic.Int64
 	var wg sync.WaitGroup
 	workers := cfg.workers()
 	chunk := (len(mfis) + workers - 1) / workers
@@ -146,9 +172,14 @@ func buildBlocks(cfg *Config, sc *scorer, index *fpgrowth.Index, mask []bool, mf
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			pruned := int64(0)
 			for k := lo; k < hi; k++ {
 				members := index.SupportSet(mfis[k].Items, mask)
-				if len(members) < 2 || len(members) > maxSize {
+				if len(members) < 2 {
+					continue
+				}
+				if len(members) > maxSize {
+					pruned++
 					continue
 				}
 				out[k] = &Block{
@@ -158,6 +189,7 @@ func buildBlocks(cfg *Config, sc *scorer, index *fpgrowth.Index, mask []bool, mf
 					MinSup:  minsup,
 				}
 			}
+			csPruned.Add(pruned)
 		}(lo, hi)
 	}
 	wg.Wait()
@@ -167,7 +199,7 @@ func buildBlocks(cfg *Config, sc *scorer, index *fpgrowth.Index, mask []bool, mf
 			blocks = append(blocks, b)
 		}
 	}
-	return blocks
+	return blocks, int(csPruned.Load())
 }
 
 // enforceNG applies the sparse-neighborhood condition: blocks are
@@ -175,10 +207,11 @@ func buildBlocks(cfg *Config, sc *scorer, index *fpgrowth.Index, mask []bool, mf
 // only while its distinct neighborhood (records sharing an admitted block
 // with it) stays within NG*MaxMinSup, and a block vetoed by any member is
 // pruned. It also drops blocks scoring at or below MinScore. It returns
-// the surviving blocks (descending score) and the lowest surviving score
-// (the effective iteration threshold). spent is indexed by dense record
-// index and sized to the collection.
-func enforceNG(cfg *Config, blocks []*Block, spent []int) (kept []*Block, minTh float64) {
+// the surviving blocks (descending score), the lowest surviving score
+// (the effective iteration threshold), and the number of blocks the
+// neighborhood cap vetoed. spent is indexed by dense record index and
+// sized to the collection.
+func enforceNG(cfg *Config, blocks []*Block, spent []int) (kept []*Block, minTh float64, ngPruned int) {
 	limit := int(math.Ceil(cfg.NG * float64(cfg.MaxMinSup)))
 	if limit < 1 {
 		limit = 1
@@ -205,6 +238,7 @@ func enforceNG(cfg *Config, blocks []*Block, spent []int) (kept []*Block, minTh 
 			}
 		}
 		if veto {
+			ngPruned++
 			continue
 		}
 		for _, m := range b.Members {
@@ -213,5 +247,5 @@ func enforceNG(cfg *Config, blocks []*Block, spent []int) (kept []*Block, minTh 
 		kept = append(kept, b)
 		minTh = b.Score
 	}
-	return kept, minTh
+	return kept, minTh, ngPruned
 }

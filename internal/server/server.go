@@ -11,6 +11,13 @@
 //	GET /api/narrative?book=1016196&certainty=0.3 the entity's narrative
 //	GET /api/pair?a=1016196&b=1016197            re-score one report pair
 //	GET /api/stats                               collection statistics
+//	GET /api/report                              the pipeline's RunReport
+//	GET /metrics                                 Prometheus text format
+//
+// Every handler runs behind an instrumentation middleware recording
+// per-route request counts by status class, latency histograms, and
+// response sizes into the server's telemetry registry — the same one
+// the pipeline stages report into, so one /metrics scrape shows both.
 package server
 
 import (
@@ -23,6 +30,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/narrative"
 	"repro/internal/record"
+	"repro/internal/telemetry"
 )
 
 // Server serves one resolution.
@@ -34,6 +42,10 @@ type Server struct {
 	DefaultCertainty float64
 	// MaxResults caps search responses.
 	MaxResults int
+	// Metrics is the registry behind /metrics and the request
+	// middleware; nil falls back to telemetry.Default() (which is also
+	// where the pipeline reports unless overridden).
+	Metrics *telemetry.Registry
 }
 
 // New builds a server over a finished resolution. The collection is the
@@ -47,12 +59,28 @@ func New(res *core.Resolution, coll *record.Collection) *Server {
 		DefaultCertainty: 0.0,
 		MaxResults:       50,
 	}
-	s.mux.HandleFunc("GET /api/search", s.handleSearch)
-	s.mux.HandleFunc("GET /api/entity", s.handleEntity)
-	s.mux.HandleFunc("GET /api/narrative", s.handleNarrative)
-	s.mux.HandleFunc("GET /api/pair", s.handlePair)
-	s.mux.HandleFunc("GET /api/stats", s.handleStats)
+	s.mux.HandleFunc("GET /api/search", s.instrument("/api/search", s.handleSearch))
+	s.mux.HandleFunc("GET /api/entity", s.instrument("/api/entity", s.handleEntity))
+	s.mux.HandleFunc("GET /api/narrative", s.instrument("/api/narrative", s.handleNarrative))
+	s.mux.HandleFunc("GET /api/pair", s.instrument("/api/pair", s.handlePair))
+	s.mux.HandleFunc("GET /api/stats", s.instrument("/api/stats", s.handleStats))
+	s.mux.HandleFunc("GET /api/report", s.instrument("/api/report", s.handleReport))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// Unmatched paths get a JSON 404 (and land in the middleware's
+	// counters) instead of net/http's plain-text default.
+	s.mux.HandleFunc("/", s.instrument("other", s.handleNotFound))
 	return s
+}
+
+func (s *Server) metrics() *telemetry.Registry {
+	if s.Metrics != nil {
+		return s.Metrics
+	}
+	return telemetry.Default()
+}
+
+func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	httpError(w, http.StatusNotFound, fmt.Errorf("no such endpoint %s", r.URL.Path))
 }
 
 // ServeHTTP implements http.Handler.
@@ -251,18 +279,29 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// writeJSON is the single success path: every handler responds through
+// it so Content-Type and encoding are uniform.
 func writeJSON(w http.ResponseWriter, v any) {
+	writeJSONStatus(w, http.StatusOK, v)
+}
+
+// writeJSONStatus writes v as indented JSON with the given status.
+func writeJSONStatus(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	if code != http.StatusOK {
+		w.WriteHeader(code)
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
-		// Headers are gone; nothing more to do than log-less best effort.
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		// Headers (and possibly part of the body) are gone; log is the
+		// only remaining channel.
+		telemetry.Log().Warn("response encode failed", "err", err)
 	}
 }
 
+// httpError is the single error path: a JSON {"error": ...} body with
+// the given status, never plain text.
 func httpError(w http.ResponseWriter, code int, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}) //nolint:errcheck
+	writeJSONStatus(w, code, map[string]string{"error": err.Error()})
 }

@@ -1,0 +1,137 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered series in the Prometheus
+// text exposition format (version 0.0.4): families sorted by name, one
+// `# TYPE` header per family, series within a family sorted by label
+// set, histograms expanded into cumulative `_bucket{le=...}` lines plus
+// `_sum` and `_count`.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	keys := append([]string(nil), r.order...)
+	entries := make([]*series, 0, len(keys))
+	for _, k := range keys {
+		entries = append(entries, r.byKey[k])
+	}
+	r.mu.RUnlock()
+
+	// Group by family, families alphabetical, series stable within.
+	byFamily := make(map[string][]*series)
+	families := make([]string, 0, len(entries))
+	for _, s := range entries {
+		if _, ok := byFamily[s.family]; !ok {
+			families = append(families, s.family)
+		}
+		byFamily[s.family] = append(byFamily[s.family], s)
+	}
+	sort.Strings(families)
+
+	for _, fam := range families {
+		group := byFamily[fam]
+		sort.SliceStable(group, func(i, j int) bool {
+			return labelString(group[i].labels) < labelString(group[j].labels)
+		})
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, typeName(group[0].kind)); err != nil {
+			return err
+		}
+		for _, s := range group {
+			if err := writeSeries(w, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func typeName(k metricKind) string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+func writeSeries(w io.Writer, s *series) error {
+	ls := labelString(s.labels)
+	switch s.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", s.family, braced(ls), s.c.Value())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", s.family, braced(ls), formatFloat(s.g.Value()))
+		return err
+	default:
+		snap := s.h.Snapshot()
+		for i, b := range snap.Bounds {
+			le := labelString(append(append([]Label(nil), s.labels...), L("le", formatFloat(b))))
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.family, braced(le), snap.Cumulative[i]); err != nil {
+				return err
+			}
+		}
+		le := labelString(append(append([]Label(nil), s.labels...), L("le", "+Inf")))
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.family, braced(le), snap.Cumulative[len(snap.Bounds)]); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", s.family, braced(ls), formatFloat(snap.Sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", s.family, braced(ls), snap.Count)
+		return err
+	}
+}
+
+// labelString renders `k1="v1",k2="v2"` with escaped values, or "".
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func braced(ls string) string {
+	if ls == "" {
+		return ""
+	}
+	return "{" + ls + "}"
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(v)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+)
+
+// RegistrySnapshot is a point-in-time JSON view of every registered
+// series, keyed by `family{labels}` — yvbench's -report output, and a
+// programmatic alternative to scraping /metrics.
+type RegistrySnapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the registry's current state.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	snap := RegistrySnapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.RLock()
+	entries := make([]*series, 0, len(r.order))
+	for _, k := range r.order {
+		entries = append(entries, r.byKey[k])
+	}
+	r.mu.RUnlock()
+	for _, s := range entries {
+		key := s.family + braced(labelString(s.labels))
+		switch s.kind {
+		case kindCounter:
+			snap.Counters[key] = s.c.Value()
+		case kindGauge:
+			snap.Gauges[key] = s.g.Value()
+		default:
+			snap.Histograms[key] = s.h.Snapshot()
+		}
+	}
+	return snap
+}
+
+// WriteJSON writes the snapshot, indented, to w.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WriteJSONFile writes the snapshot to path.
+func (r *Registry) WriteJSONFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
