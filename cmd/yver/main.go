@@ -140,13 +140,18 @@ func main() {
 }
 
 // loadRecords reads JSONL or, for .yvst files, the binary store format.
+// Store files open with recovery: a torn tail from a killed writer is
+// truncated to the last whole frame instead of aborting the run.
 func loadRecords(path string) ([]*record.Record, error) {
 	if strings.HasSuffix(path, ".yvst") {
-		s, err := store.Open(path)
+		s, err := store.Open(path, store.Recover)
 		if err != nil {
 			return nil, err
 		}
 		defer s.Close()
+		if s.RepairedBytes > 0 {
+			fmt.Fprintf(os.Stderr, "yver: repaired torn tail in %s (%d bytes truncated)\n", path, s.RepairedBytes)
+		}
 		return s.All()
 	}
 	f, err := os.Open(path)

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	yvserve -in records.jsonl [-model model.json] [-addr :8080] [-pprof] [-v]
+//	yvserve -in records.jsonl [-model model.json] [-addr :8080]
+//	        [-max-inflight N] [-request-timeout D] [-drain D] [-pprof] [-v]
 //
 // Then:
 //
@@ -17,11 +18,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/adtree"
 	"repro/internal/core"
@@ -39,6 +45,9 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	ng := flag.Float64("ng", 3.5, "neighborhood growth parameter")
 	workers := flag.Int("workers", 0, "pair-scoring workers (0 = GOMAXPROCS, 1 = serial)")
+	maxInflight := flag.Int("max-inflight", 256, "max concurrent requests before shedding with 503 (0 = unlimited)")
+	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline, 503 on expiry (0 = none)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline on SIGINT/SIGTERM")
 	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	verbose := flag.Bool("v", false, "debug logging (per-request and per-stage telemetry)")
 	flag.Parse()
@@ -91,23 +100,70 @@ func main() {
 	fmt.Printf("resolved: %d ranked matches\n", len(res.Matches))
 
 	srv := server.New(res, coll)
+	srv.MaxInflight = *maxInflight
+	srv.RequestTimeout = *requestTimeout
 	if *pprofFlag {
 		srv.EnablePprof()
 		fmt.Println("pprof enabled at /debug/pprof/")
 	}
-	fmt.Printf("serving on %s (try /api/stats, /metrics, /api/report)\n", *addr)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
-		fatal(err)
+
+	// A bare ListenAndServe has no timeouts: one slow-reading client can
+	// hold a connection (and its inflight slot) forever. WriteTimeout
+	// sits above the per-request deadline so the middleware's 503 is
+	// always written before the connection is torn down.
+	writeTimeout := 2 * time.Minute
+	if *requestTimeout > 0 {
+		writeTimeout = *requestTimeout + 10*time.Second
+	}
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	// SIGINT/SIGTERM drain in-flight requests up to the -drain deadline,
+	// then the listener closes; a second signal kills immediately.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("serving on %s (try /api/stats, /metrics, /api/report)\n", *addr)
+		errc <- hs.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case <-ctx.Done():
+		stop() // restore default handling: a second signal is immediate
+		fmt.Printf("shutting down (draining up to %s)...\n", *drain)
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			fmt.Fprintf(os.Stderr, "yvserve: drain incomplete: %v\n", err)
+			hs.Close()
+			os.Exit(1)
+		}
+		fmt.Println("drained cleanly")
 	}
 }
 
 func loadRecords(path string) ([]*record.Record, error) {
 	if strings.HasSuffix(path, ".yvst") {
-		s, err := store.Open(path)
+		// CLIs recover by default: a torn tail from a killed writer is
+		// truncated to the last whole frame rather than refusing to serve.
+		s, err := store.Open(path, store.Recover)
 		if err != nil {
 			return nil, err
 		}
 		defer s.Close()
+		if s.RepairedBytes > 0 {
+			fmt.Fprintf(os.Stderr, "yvserve: repaired torn tail in %s (%d bytes truncated)\n", path, s.RepairedBytes)
+		}
 		return s.All()
 	}
 	f, err := os.Open(path)

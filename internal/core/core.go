@@ -7,6 +7,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -448,20 +449,29 @@ func scoreSerial(opts *Options, work *record.Collection, blk *mfiblocks.Result, 
 // are built lazily on first use.
 func (r *Resolution) Profiles() *features.ProfileCache { return r.profiles }
 
+// ScorePair validation errors, distinguishable with errors.Is: a
+// self-pair is a malformed request however the IDs resolve, while an
+// unknown report is a lookup miss. API layers map the former to 400 and
+// the latter to 404.
+var (
+	ErrSelfPair      = errors.New("core: report paired with itself")
+	ErrUnknownReport = errors.New("core: unknown report")
+)
+
 // ScorePair scores an arbitrary pair of reports on demand, through the
 // cached profiles: the model confidence when the resolution carries a
 // model, otherwise the pair's blocking score (0 when blocking never
 // proposed the pair). It is safe for concurrent use.
 func (r *Resolution) ScorePair(aID, bID int64) (RankedMatch, error) {
+	if aID == bID {
+		return RankedMatch{}, fmt.Errorf("%w: report %d", ErrSelfPair, aID)
+	}
 	ra, rb := r.Collection.ByID(aID), r.Collection.ByID(bID)
 	if ra == nil {
-		return RankedMatch{}, fmt.Errorf("core: unknown report %d", aID)
+		return RankedMatch{}, fmt.Errorf("%w: %d", ErrUnknownReport, aID)
 	}
 	if rb == nil {
-		return RankedMatch{}, fmt.Errorf("core: unknown report %d", bID)
-	}
-	if aID == bID {
-		return RankedMatch{}, fmt.Errorf("core: report %d paired with itself", aID)
+		return RankedMatch{}, fmt.Errorf("%w: %d", ErrUnknownReport, bID)
 	}
 	m := RankedMatch{Pair: record.MakePair(aID, bID)}
 	if r.Blocking != nil {

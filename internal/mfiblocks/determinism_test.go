@@ -1,0 +1,114 @@
+package mfiblocks
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/record"
+)
+
+// tieHeavyCollection builds groups of byte-identical records (distinct
+// BookIDs only), so every block score collides with many others — the
+// worst case for a tiebreak that stops at (score, size).
+func tieHeavyCollection(t *testing.T) *record.Collection {
+	t.Helper()
+	var records []*record.Record
+	id := int64(1)
+	for group := 0; group < 12; group++ {
+		first := fmt.Sprintf("Name%c", 'A'+group)
+		last := fmt.Sprintf("Fam%c", 'A'+group%4)
+		for dup := 0; dup < 5; dup++ {
+			r := &record.Record{BookID: id, Source: "list-1", Kind: record.List}
+			r.Add(record.FirstName, first)
+			r.Add(record.LastName, last)
+			r.Add(record.BirthYear, "1910")
+			records = append(records, r)
+			id++
+		}
+	}
+	coll, err := record.NewCollection(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coll
+}
+
+// TestRunDeterministicUnderTies is the regression test for the
+// enforceNG tiebreak: two runs over the same tie-heavy collection and
+// config must produce identical Result.Pairs — the contract documented
+// on the field and relied on by chunked downstream scoring.
+func TestRunDeterministicUnderTies(t *testing.T) {
+	coll := tieHeavyCollection(t)
+	cfg := NewConfig()
+	cfg.PruneFraction = 0 // keep every item: maximal block overlap
+
+	first, err := Run(cfg, coll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Pairs) == 0 {
+		t.Fatal("tie-heavy collection produced no pairs")
+	}
+	for run := 0; run < 3; run++ {
+		again, err := Run(cfg, coll)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first.Pairs, again.Pairs) {
+			t.Fatalf("run %d: Pairs differ from first run\nfirst: %v\nagain: %v",
+				run, first.Pairs, again.Pairs)
+		}
+		if !reflect.DeepEqual(first.PairScores, again.PairScores) {
+			t.Fatalf("run %d: PairScores differ", run)
+		}
+	}
+}
+
+// TestEnforceNGOrderInvariant feeds the same tied blocks in shuffled
+// orders: the total-order sort must admit an identical sequence every
+// time, regardless of input permutation.
+func TestEnforceNGOrderInvariant(t *testing.T) {
+	cfg := NewConfig()
+	cfg.NG = 1 // tight budget so admission order decides survival
+
+	// Ten blocks tied on (score, size), distinguishable only by members
+	// and key; overlapping membership makes the greedy budget contested.
+	mkBlocks := func() []*Block {
+		var blocks []*Block
+		for i := 0; i < 10; i++ {
+			blocks = append(blocks, &Block{
+				Key:     []int{i, i + 100},
+				Members: []int{i, i + 1, i + 2},
+				Score:   0.75,
+				MinSup:  3,
+			})
+		}
+		return blocks
+	}
+
+	baseline := mkBlocks()
+	spent := make([]int, 16)
+	wantKept, wantTh, wantPruned := enforceNG(&cfg, baseline, spent)
+	if len(wantKept) == 0 || wantPruned == 0 {
+		t.Fatalf("fixture not contested: kept=%d pruned=%d", len(wantKept), wantPruned)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		blocks := mkBlocks()
+		rng.Shuffle(len(blocks), func(i, j int) { blocks[i], blocks[j] = blocks[j], blocks[i] })
+		spent := make([]int, 16)
+		kept, th, pruned := enforceNG(&cfg, blocks, spent)
+		if th != wantTh || pruned != wantPruned || len(kept) != len(wantKept) {
+			t.Fatalf("trial %d: (kept=%d th=%v pruned=%d), want (%d, %v, %d)",
+				trial, len(kept), th, pruned, len(wantKept), wantTh, wantPruned)
+		}
+		for i := range kept {
+			if !reflect.DeepEqual(kept[i].Key, wantKept[i].Key) {
+				t.Fatalf("trial %d: kept[%d].Key = %v, want %v", trial, i, kept[i].Key, wantKept[i].Key)
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package mfiblocks
 
 import (
 	"math"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -211,6 +212,14 @@ func buildBlocks(cfg *Config, sc *scorer, index *fpgrowth.Index, mask []bool, mf
 // (the effective iteration threshold), and the number of blocks the
 // neighborhood cap vetoed. spent is indexed by dense record index and
 // sized to the collection.
+//
+// The admission order is a total order — (score desc, size asc, members
+// lex asc, key lex asc) — so the outcome is independent of the incoming
+// block order and of sort.Slice's unspecified handling of ties. A
+// (score, size)-only tiebreak would let tied blocks land in either order
+// and, through the greedy budget, change which pairs Result.Pairs emits
+// — violating the documented determinism downstream chunked scoring
+// relies on.
 func enforceNG(cfg *Config, blocks []*Block, spent []int) (kept []*Block, minTh float64, ngPruned int) {
 	limit := int(math.Ceil(cfg.NG * float64(cfg.MaxMinSup)))
 	if limit < 1 {
@@ -219,10 +228,20 @@ func enforceNG(cfg *Config, blocks []*Block, spent []int) (kept []*Block, minTh 
 	ordered := make([]*Block, len(blocks))
 	copy(ordered, blocks)
 	sort.Slice(ordered, func(i, j int) bool {
-		if ordered[i].Score != ordered[j].Score {
-			return ordered[i].Score > ordered[j].Score
+		bi, bj := ordered[i], ordered[j]
+		if bi.Score != bj.Score {
+			return bi.Score > bj.Score
 		}
-		return ordered[i].Size() < ordered[j].Size()
+		if bi.Size() != bj.Size() {
+			return bi.Size() < bj.Size()
+		}
+		// Members are ascending collection indices, so lexicographic
+		// comparison is deterministic; distinct MFIs give distinct keys,
+		// making the order total even for identical support sets.
+		if c := slices.Compare(bi.Members, bj.Members); c != 0 {
+			return c < 0
+		}
+		return slices.Compare(bi.Key, bj.Key) < 0
 	})
 	minTh = cfg.MinScore
 	for _, b := range ordered {

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+
+	"repro/internal/telemetry"
+)
+
+// The resilience layer sits between the instrumentation middleware and
+// every handler, so its 500/503 responses land in the request counters
+// like any other outcome. It provides, outermost first:
+//
+//   - load shedding: beyond MaxInflight concurrent requests, respond
+//     JSON 503 with Retry-After instead of queueing without bound;
+//   - a per-request deadline: the handler runs in a goroutine against a
+//     buffered response; if it misses the deadline the client gets a
+//     JSON 503 now and the stale result is discarded;
+//   - panic recovery: a panicking handler becomes a JSON 500 and an
+//     http_panics_total increment; the server keeps serving.
+
+// resilient wraps h with the shed → timeout → recover stack.
+func (s *Server) resilient(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		n := s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		if max := s.MaxInflight; max > 0 && n > int64(max) {
+			s.metrics().Counter(telemetry.FamilyHTTPShed, telemetry.L("route", route)).Inc()
+			telemetry.Log().Warn("shedding request", "route", route, "inflight", n, "max", max)
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, fmt.Errorf("server at capacity (%d requests in flight)", max))
+			return
+		}
+		if s.RequestTimeout <= 0 {
+			s.recovering(route, h, w, r)
+			return
+		}
+		s.withDeadline(route, h, w, r)
+	}
+}
+
+// recovering runs h, converting a panic into a JSON 500. When the
+// response is still buffered (the deadline path), partial output from
+// before the panic is discarded so the error body is well-formed.
+func (s *Server) recovering(route string, h http.HandlerFunc, w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if p := recover(); p != nil {
+			if p == http.ErrAbortHandler {
+				// The conventional "hang up without logging" sentinel.
+				panic(p)
+			}
+			s.metrics().Counter(telemetry.FamilyHTTPPanics, telemetry.L("route", route)).Inc()
+			telemetry.Log().Error("handler panic",
+				"route", route, "panic", p, "stack", string(debug.Stack()))
+			if b, ok := w.(*bufferedResponse); ok {
+				b.reset()
+			}
+			httpError(w, http.StatusInternalServerError, errors.New("internal server error"))
+		}
+	}()
+	h(w, r)
+}
+
+// withDeadline runs h against a buffered response in a goroutine and
+// races it with the request deadline. On time, the buffer is flushed to
+// the client; on timeout the client gets a 503 immediately and the
+// handler's eventual output is dropped. The handler also sees the
+// deadline on its context, so context-aware work can stop early.
+func (s *Server) withDeadline(route string, h http.HandlerFunc, w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.RequestTimeout)
+	defer cancel()
+	buf := &bufferedResponse{header: make(http.Header)}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.recovering(route, h, buf, r.WithContext(ctx))
+	}()
+	select {
+	case <-done:
+		buf.flush(w)
+	case <-ctx.Done():
+		s.metrics().Counter(telemetry.FamilyHTTPTimeouts, telemetry.L("route", route)).Inc()
+		telemetry.Log().Warn("request deadline exceeded", "route", route, "timeout", s.RequestTimeout)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("request exceeded %s deadline", s.RequestTimeout))
+	}
+}
+
+// bufferedResponse captures a handler's response so the deadline path
+// can either forward it whole or discard it. Only the handler goroutine
+// touches it until done is closed; after a timeout nobody reads it, so
+// no locking is needed.
+type bufferedResponse struct {
+	header http.Header
+	status int
+	body   bytes.Buffer
+}
+
+func (b *bufferedResponse) Header() http.Header { return b.header }
+
+func (b *bufferedResponse) WriteHeader(code int) {
+	if b.status == 0 {
+		b.status = code
+	}
+}
+
+func (b *bufferedResponse) Write(p []byte) (int, error) {
+	if b.status == 0 {
+		b.status = http.StatusOK
+	}
+	return b.body.Write(p)
+}
+
+// reset drops everything written so far (the panic-recovery path).
+func (b *bufferedResponse) reset() {
+	b.header = make(http.Header)
+	b.status = 0
+	b.body.Reset()
+}
+
+// flush replays the buffered response onto the real writer.
+func (b *bufferedResponse) flush(w http.ResponseWriter) {
+	h := w.Header()
+	for k, vs := range b.header {
+		h[k] = vs
+	}
+	if b.status != 0 && b.status != http.StatusOK {
+		w.WriteHeader(b.status)
+	}
+	if b.body.Len() > 0 {
+		w.Write(b.body.Bytes())
+	}
+}

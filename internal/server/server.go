@@ -18,14 +18,21 @@
 // per-route request counts by status class, latency histograms, and
 // response sizes into the server's telemetry registry — the same one
 // the pipeline stages report into, so one /metrics scrape shows both.
+// Under the instrumentation sits a resilience layer (resilience.go):
+// load shedding beyond MaxInflight (JSON 503 + Retry-After), a
+// per-request deadline (JSON 503 on expiry), and panic recovery (JSON
+// 500; the server keeps serving).
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
 	"strconv"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/narrative"
@@ -42,10 +49,20 @@ type Server struct {
 	DefaultCertainty float64
 	// MaxResults caps search responses.
 	MaxResults int
+	// MaxInflight caps concurrent requests across all instrumented
+	// routes; excess requests are shed with JSON 503 + Retry-After.
+	// Zero means unlimited.
+	MaxInflight int
+	// RequestTimeout bounds how long a client waits on one request; a
+	// handler that misses the deadline yields a JSON 503. Zero disables
+	// the deadline.
+	RequestTimeout time.Duration
 	// Metrics is the registry behind /metrics and the request
 	// middleware; nil falls back to telemetry.Default() (which is also
 	// where the pipeline reports unless overridden).
 	Metrics *telemetry.Registry
+
+	inflight atomic.Int64
 }
 
 // New builds a server over a finished resolution. The collection is the
@@ -59,17 +76,24 @@ func New(res *core.Resolution, coll *record.Collection) *Server {
 		DefaultCertainty: 0.0,
 		MaxResults:       50,
 	}
-	s.mux.HandleFunc("GET /api/search", s.instrument("/api/search", s.handleSearch))
-	s.mux.HandleFunc("GET /api/entity", s.instrument("/api/entity", s.handleEntity))
-	s.mux.HandleFunc("GET /api/narrative", s.instrument("/api/narrative", s.handleNarrative))
-	s.mux.HandleFunc("GET /api/pair", s.instrument("/api/pair", s.handlePair))
-	s.mux.HandleFunc("GET /api/stats", s.instrument("/api/stats", s.handleStats))
-	s.mux.HandleFunc("GET /api/report", s.instrument("/api/report", s.handleReport))
+	s.mux.HandleFunc("GET /api/search", s.handler("/api/search", s.handleSearch))
+	s.mux.HandleFunc("GET /api/entity", s.handler("/api/entity", s.handleEntity))
+	s.mux.HandleFunc("GET /api/narrative", s.handler("/api/narrative", s.handleNarrative))
+	s.mux.HandleFunc("GET /api/pair", s.handler("/api/pair", s.handlePair))
+	s.mux.HandleFunc("GET /api/stats", s.handler("/api/stats", s.handleStats))
+	s.mux.HandleFunc("GET /api/report", s.handler("/api/report", s.handleReport))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	// Unmatched paths get a JSON 404 (and land in the middleware's
 	// counters) instead of net/http's plain-text default.
-	s.mux.HandleFunc("/", s.instrument("other", s.handleNotFound))
+	s.mux.HandleFunc("/", s.handler("other", s.handleNotFound))
 	return s
+}
+
+// handler is the standard middleware stack: instrumentation outermost,
+// so shed/timeout/panic outcomes are counted like any other status, then
+// the resilience layer, then the handler itself.
+func (s *Server) handler(route string, h http.HandlerFunc) http.HandlerFunc {
+	return s.instrument(route, s.resilient(route, h))
 }
 
 func (s *Server) metrics() *telemetry.Registry {
@@ -96,17 +120,23 @@ type entityJSON struct {
 	Narrative string              `json:"narrative,omitempty"`
 }
 
+// joinName joins name parts with single spaces, skipping missing parts
+// — "Guido"+"" is "Guido", not "Guido ".
+func joinName(first, last string) string {
+	switch {
+	case first == "":
+		return last
+	case last == "":
+		return first
+	}
+	return first + " " + last
+}
+
 func toJSON(e *core.Entity, withNarrative bool) entityJSON {
 	out := entityJSON{Reports: e.Reports, Values: make(map[string][]string)}
 	first, _ := e.Best(record.FirstName)
 	last, _ := e.Best(record.LastName)
-	out.Name = first
-	if last != "" {
-		if out.Name != "" {
-			out.Name += " "
-		}
-		out.Name += last
-	}
+	out.Name = joinName(first, last)
 	for t, vs := range e.Values {
 		for _, v := range vs {
 			out.Values[t.String()] = append(out.Values[t.String()], v.Value)
@@ -144,7 +174,13 @@ func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
 	}
 	m, err := s.res.ScorePair(a, b)
 	if err != nil {
-		httpError(w, http.StatusNotFound, err)
+		// Self-pairing is a malformed request; only unknown BookIDs are
+		// lookup misses.
+		code := http.StatusNotFound
+		if errors.Is(err, core.ErrSelfPair) {
+			code = http.StatusBadRequest
+		}
+		httpError(w, code, err)
 		return
 	}
 	writeJSON(w, struct {
@@ -180,7 +216,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		Certainty float64      `json:"certainty"`
 		Truncated bool         `json:"truncated"`
 		Entities  []entityJSON `json:"entities"`
-	}{Certainty: q.Certainty, Truncated: truncated}
+	}{Certainty: q.Certainty, Truncated: truncated,
+		// Non-nil even when empty: clients always see "entities": [].
+		Entities: make([]entityJSON, 0, len(hits))}
 	for _, e := range hits {
 		out.Entities = append(out.Entities, toJSON(e, false))
 	}
@@ -222,26 +260,29 @@ func (s *Server) handleNarrative(w http.ResponseWriter, r *http.Request) {
 	nb := &narrative.Builder{Coll: s.coll}
 	first, _ := e.Best(record.FirstName)
 	last, _ := e.Best(record.LastName)
-	n := nb.Build(first+" "+last, e.Reports)
+	n := nb.Build(joinName(first, last), e.Reports)
 
 	type eventJSON struct {
 		Kind         string   `json:"kind"`
 		Text         string   `json:"text"`
 		Confidence   float64  `json:"confidence"`
 		Support      []int64  `json:"support"`
-		Alternatives []string `json:"alternatives,omitempty"`
+		Alternatives []string `json:"alternatives"`
 	}
+	// Slices are initialized non-nil so empty results serialize as []
+	// and "alternatives" is always present, never null or omitted.
 	out := struct {
 		Subject string      `json:"subject"`
 		Reports []int64     `json:"reports"`
 		Events  []eventJSON `json:"events"`
-	}{Subject: n.Subject, Reports: n.Reports}
+	}{Subject: n.Subject, Reports: n.Reports, Events: make([]eventJSON, 0, len(n.Events))}
 	for _, ev := range n.Events {
 		ej := eventJSON{
-			Kind:       ev.Kind.String(),
-			Text:       ev.Text,
-			Confidence: ev.Confidence,
-			Support:    ev.Support,
+			Kind:         ev.Kind.String(),
+			Text:         ev.Text,
+			Confidence:   ev.Confidence,
+			Support:      ev.Support,
+			Alternatives: make([]string, 0, len(ev.Alternatives)),
 		}
 		for _, alt := range ev.Alternatives {
 			ej.Alternatives = append(ej.Alternatives, alt.Text)

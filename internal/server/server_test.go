@@ -173,7 +173,11 @@ func TestPairEndpoint(t *testing.T) {
 	}
 
 	get(t, s, "/api/pair?a=abc&b=1", http.StatusBadRequest)
-	get(t, s, "/api/pair?a=1&b=1", http.StatusNotFound) // unknown or self pair
+	get(t, s, "/api/pair?a=1&b=1", http.StatusBadRequest) // self pair is a client error
+	get(t, s, "/api/pair?a=1&b=2", http.StatusNotFound)   // unknown books
+	// Self-pairing a *known* book is still a 400, not a 404.
+	known := strconv.FormatInt(m.Pair.A, 10)
+	get(t, s, "/api/pair?a="+known+"&b="+known, http.StatusBadRequest)
 }
 
 func TestSearchTruncation(t *testing.T) {

@@ -1,0 +1,271 @@
+package store
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/record"
+)
+
+// smallRecords builds a handful of records with distinct sizes so frame
+// boundaries land at irregular offsets.
+func smallRecords() []*record.Record {
+	var out []*record.Record
+	names := []string{"Guido", "Alessandra", "Foa", "Моше", "קוגן"}
+	for i, name := range names {
+		r := &record.Record{BookID: int64(1000 + i), Source: "page-of-testimony", Kind: record.Testimony}
+		r.Add(record.FirstName, name)
+		if i%2 == 0 {
+			r.Add(record.LastName, strings.Repeat("x", i*7+1))
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// frameEnds returns the byte offset just past each whole frame, starting
+// with the header end — the set of clean truncation points.
+func frameEnds(t *testing.T, data []byte) []int64 {
+	t.Helper()
+	ends := []int64{headerLen}
+	offset := int64(headerLen)
+	for offset < int64(len(data)) {
+		frameLen := int64(binary.LittleEndian.Uint32(data[offset : offset+4]))
+		offset += 4 + frameLen
+		if offset > int64(len(data)) {
+			t.Fatalf("reference scan overran file at %d", offset)
+		}
+		ends = append(ends, offset)
+	}
+	return ends
+}
+
+// TestRecoverFromArbitraryTruncation is the acceptance criterion: a
+// store truncated at every byte offset past the header reopens under
+// Recover, yielding exactly the records whose frames precede the cut,
+// and the repaired file then passes a strict Open.
+func TestRecoverFromArbitraryTruncation(t *testing.T) {
+	records := smallRecords()
+	path := tmpPath(t)
+	if err := WriteAll(path, records); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ends := frameEnds(t, data)
+	wholeBefore := func(cut int64) int {
+		n := 0
+		for i, end := range ends[1:] {
+			if end <= cut {
+				n = i + 1
+			}
+		}
+		return n
+	}
+
+	dir := t.TempDir()
+	for cut := int64(headerLen); cut < int64(len(data)); cut++ {
+		torn := filepath.Join(dir, "torn.yvst")
+		if err := os.WriteFile(torn, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		clean := false
+		for _, end := range ends {
+			if end == cut {
+				clean = true
+			}
+		}
+		if s, err := Open(torn); err == nil {
+			if !clean {
+				s.Close()
+				t.Fatalf("cut at %d: strict Open accepted a torn tail", cut)
+			}
+			s.Close()
+		} else if clean {
+			t.Fatalf("cut at %d: strict Open rejected a clean prefix: %v", cut, err)
+		}
+
+		s, err := Open(torn, Recover)
+		if err != nil {
+			t.Fatalf("cut at %d: Open(Recover) failed: %v", cut, err)
+		}
+		want := wholeBefore(cut)
+		if s.Len() != want {
+			t.Fatalf("cut at %d: recovered %d records, want %d", cut, s.Len(), want)
+		}
+		if clean && s.RepairedBytes != 0 {
+			t.Fatalf("cut at %d: clean prefix reported %d repaired bytes", cut, s.RepairedBytes)
+		}
+		if !clean && s.RepairedBytes == 0 {
+			t.Fatalf("cut at %d: torn tail reported no repaired bytes", cut)
+		}
+		all, err := s.All()
+		if err != nil {
+			t.Fatalf("cut at %d: All after recovery: %v", cut, err)
+		}
+		for i, r := range all {
+			if !reflect.DeepEqual(r, records[i]) {
+				t.Fatalf("cut at %d: record %d differs after recovery", cut, i)
+			}
+		}
+		s.Close()
+
+		// The repair is durable: a strict reopen sees a clean file.
+		s2, err := Open(torn)
+		if err != nil {
+			t.Fatalf("cut at %d: strict reopen after repair failed: %v", cut, err)
+		}
+		if s2.Len() != want {
+			t.Fatalf("cut at %d: reopen has %d records, want %d", cut, s2.Len(), want)
+		}
+		s2.Close()
+	}
+}
+
+func TestTornTailDiagnostics(t *testing.T) {
+	records := smallRecords()
+	path := tmpPath(t)
+	if err := WriteAll(path, records); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ends := frameEnds(t, data)
+
+	cases := []struct {
+		name string
+		cut  int64
+		want string
+	}{
+		{"truncated length prefix", ends[2] + 2, "truncated length prefix"},
+		{"partial frame", ends[2] + 10, "partial frame"},
+	}
+	for _, tc := range cases {
+		torn := filepath.Join(t.TempDir(), "torn.yvst")
+		if err := os.WriteFile(torn, data[:tc.cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Open(torn)
+		if err == nil {
+			t.Fatalf("%s: strict Open accepted the file", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestOversizedFrameLenRejected: a complete but absurd length prefix is
+// content corruption, not a torn tail — both modes fail, and neither
+// attempts the allocation the prefix asks for.
+func TestOversizedFrameLenRejected(t *testing.T) {
+	path := tmpPath(t)
+	if err := WriteAll(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prefix [4]byte
+	binary.LittleEndian.PutUint32(prefix[:], uint32(MaxFrameLen+1))
+	data = append(data, prefix[:]...)
+	data = append(data, []byte("junk")...)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range [][]OpenOption{nil, {Recover}} {
+		s, err := Open(path, opts...)
+		if err == nil {
+			s.Close()
+			t.Fatalf("Open(%d opts) accepted an oversized frame length", len(opts))
+		}
+		if !strings.Contains(err.Error(), "exceeds cap") {
+			t.Errorf("error %q does not mention the cap", err)
+		}
+	}
+}
+
+// TestGetRejectsOversizedFrameLen covers the random-access path: a
+// length prefix corrupted after Open must not drive the allocation.
+func TestGetRejectsOversizedFrameLen(t *testing.T) {
+	records := smallRecords()
+	path := tmpPath(t)
+	if err := WriteAll(path, records); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Corrupt the first record's length prefix behind the index's back.
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prefix [4]byte
+	binary.LittleEndian.PutUint32(prefix[:], uint32(MaxFrameLen+1))
+	if _, err := f.WriteAt(prefix[:], headerLen); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := s.Get(records[0].BookID); err == nil || !strings.Contains(err.Error(), "exceeds cap") {
+		t.Errorf("Get with corrupt length prefix: err = %v, want cap error", err)
+	}
+}
+
+// TestWriteAllAtomic: a WriteAll that fails mid-stream leaves the
+// previous file untouched and no temp files behind; a successful one
+// leaves exactly the target.
+func TestWriteAllAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "records.yvst")
+	old := smallRecords()
+	if err := WriteAll(path, old); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := &record.Record{BookID: 9999, Source: strings.Repeat("s", 0x10000)}
+	if err := WriteAll(path, []*record.Record{bad}); err == nil {
+		t.Fatal("WriteAll accepted an unencodable record")
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "records.yvst" {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("directory after failed WriteAll: %v", names)
+	}
+
+	s, err := Open(path)
+	if err != nil {
+		t.Fatalf("original file damaged by failed WriteAll: %v", err)
+	}
+	defer s.Close()
+	if s.Len() != len(old) {
+		t.Errorf("original file has %d records, want %d", s.Len(), len(old))
+	}
+	all, err := s.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range all {
+		if !reflect.DeepEqual(all[i], old[i]) {
+			t.Errorf("record %d changed by failed WriteAll", i)
+		}
+	}
+}

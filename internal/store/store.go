@@ -10,6 +10,16 @@
 //	record:  uint32 frameLen | int64 bookID | uint8 kind |
 //	         uint16 sourceLen | source bytes |
 //	         uint16 itemCount | items (uint8 type | uint16 valueLen | value)
+//
+// Durability: WriteAll stages the whole file beside the target and
+// renames it into place after an fsync, so a crashed writer never leaves
+// a half-written store under the final name. A process killed while
+// streaming through Create/Append can still leave a torn tail (a
+// truncated length prefix or a partial frame); Open detects that and —
+// with the Recover option — repairs the file by truncating it back to
+// the last whole frame. Frame lengths are capped at MaxFrameLen, so a
+// corrupt length prefix is diagnosed instead of driving an arbitrary
+// allocation.
 package store
 
 import (
@@ -18,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"repro/internal/record"
 )
@@ -26,6 +37,15 @@ var magic = [4]byte{'Y', 'V', 'S', 'T'}
 
 // Version is the current format version.
 const Version = 1
+
+// headerLen is the byte length of the file header (magic + version).
+const headerLen = 8
+
+// MaxFrameLen caps a single record frame. Encoded records are far
+// smaller in practice (sources and values are uint16-length bounded);
+// the cap exists so a corrupt length prefix yields a precise error
+// instead of a multi-gigabyte allocation.
+const MaxFrameLen = 16 << 20
 
 // Writer appends records to a store file.
 type Writer struct {
@@ -40,13 +60,21 @@ func Create(path string) (*Writer, error) {
 	if err != nil {
 		return nil, err
 	}
-	w := &Writer{f: f, buf: bufio.NewWriter(f)}
-	if _, err := w.buf.Write(magic[:]); err != nil {
+	w, err := newWriter(f)
+	if err != nil {
 		f.Close()
 		return nil, err
 	}
+	return w, nil
+}
+
+// newWriter wraps an open file and writes the header.
+func newWriter(f *os.File) (*Writer, error) {
+	w := &Writer{f: f, buf: bufio.NewWriter(f)}
+	if _, err := w.buf.Write(magic[:]); err != nil {
+		return nil, err
+	}
 	if err := binary.Write(w.buf, binary.LittleEndian, uint32(Version)); err != nil {
-		f.Close()
 		return nil, err
 	}
 	return w, nil
@@ -71,9 +99,13 @@ func (w *Writer) Append(r *record.Record) error {
 // Len returns the number of appended records.
 func (w *Writer) Len() int { return w.n }
 
-// Close flushes and closes the file.
+// Close flushes, fsyncs, and closes the file.
 func (w *Writer) Close() error {
 	if err := w.buf.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
 		w.f.Close()
 		return err
 	}
@@ -93,6 +125,9 @@ func encodeRecord(r *record.Record) ([]byte, error) {
 			return nil, fmt.Errorf("store: record %d item value too long", r.BookID)
 		}
 		size += 1 + 2 + len(it.Value)
+	}
+	if size > MaxFrameLen {
+		return nil, fmt.Errorf("store: record %d frame is %d bytes, exceeds cap %d", r.BookID, size, MaxFrameLen)
 	}
 	out := make([]byte, 0, size)
 	out = binary.LittleEndian.AppendUint64(out, uint64(r.BookID))
@@ -156,57 +191,134 @@ type Store struct {
 	f       *os.File
 	offsets map[int64]int64 // BookID -> frame offset (of the length prefix)
 	order   []int64         // BookIDs in append order
+	// RepairedBytes is the number of torn-tail bytes Open truncated away
+	// under the Recover option; zero for a clean file.
+	RepairedBytes int64
 }
 
+// OpenOption configures Open.
+type OpenOption func(*openConfig)
+
+type openConfig struct {
+	recover bool
+}
+
+// Recover makes Open repair a torn tail — a truncated length prefix or a
+// partial final frame, the signature a killed writer leaves — by
+// truncating the file back to the last whole frame. Corruption that is
+// not a pure tail truncation (bad magic, oversized frame length, a
+// complete frame that fails to decode, duplicate BookIDs) still fails:
+// those are not recoverable by dropping a suffix. CLIs open with Recover
+// by default; library callers that prefer to fail loudly omit it.
+func Recover(c *openConfig) { c.recover = true }
+
 // Open reads the header and builds the index with one sequential scan.
-func Open(path string) (*Store, error) {
-	f, err := os.Open(path)
+// Without options it is strict: any deviation from the format, including
+// a torn tail, is an error with the byte offset of the damage. With the
+// Recover option a torn tail is repaired in place (the file is opened
+// read-write and truncated to the last whole frame).
+func Open(path string, opts ...OpenOption) (*Store, error) {
+	var cfg openConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	flag := os.O_RDONLY
+	if cfg.recover {
+		flag = os.O_RDWR
+	}
+	f, err := os.OpenFile(path, flag, 0)
 	if err != nil {
 		return nil, err
 	}
+	s, err := scan(f, cfg)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// tornTailError describes a tail that a torn write produced: the store
+// is intact up to good, then the remaining bytes are an incomplete
+// length prefix or frame.
+type tornTailError struct {
+	good   int64 // offset of the last whole frame's end
+	reason string
+}
+
+func (e *tornTailError) Error() string {
+	return fmt.Sprintf("store: torn tail at offset %d: %s (reopen with recovery to truncate)", e.good, e.reason)
+}
+
+func scan(f *os.File, cfg openConfig) (*Store, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("store: stat: %w", err)
+	}
+	size := fi.Size()
+
 	s := &Store{f: f, offsets: make(map[int64]int64)}
 	br := bufio.NewReader(f)
-	var hdr [8]byte
+	var hdr [headerLen]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		f.Close()
 		return nil, fmt.Errorf("store: read header: %w", err)
 	}
 	if [4]byte(hdr[:4]) != magic {
-		f.Close()
 		return nil, fmt.Errorf("store: bad magic %q", hdr[:4])
 	}
 	if v := binary.LittleEndian.Uint32(hdr[4:]); v != Version {
-		f.Close()
 		return nil, fmt.Errorf("store: unsupported version %d", v)
 	}
-	offset := int64(8)
+
+	offset := int64(headerLen)
 	var lenBuf [4]byte
-	for {
+	var torn *tornTailError
+	for offset < size {
+		remaining := size - offset
+		if remaining < 4 {
+			torn = &tornTailError{good: offset, reason: fmt.Sprintf("truncated length prefix (%d of 4 bytes)", remaining)}
+			break
+		}
 		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
-			if err == io.EOF {
-				break
-			}
-			f.Close()
 			return nil, fmt.Errorf("store: read frame length at %d: %w", offset, err)
 		}
-		frameLen := binary.LittleEndian.Uint32(lenBuf[:])
+		frameLen := int64(binary.LittleEndian.Uint32(lenBuf[:]))
+		if frameLen > MaxFrameLen {
+			// A torn write truncates; it cannot manufacture a complete
+			// length prefix, so an oversized length is content corruption
+			// and never recoverable by dropping the tail.
+			return nil, fmt.Errorf("store: frame length %d at offset %d exceeds cap %d (corrupt length prefix)", frameLen, offset, MaxFrameLen)
+		}
+		if frameLen > remaining-4 {
+			torn = &tornTailError{good: offset, reason: fmt.Sprintf("partial frame (%d of %d bytes)", remaining-4, frameLen)}
+			break
+		}
 		frame := make([]byte, frameLen)
 		if _, err := io.ReadFull(br, frame); err != nil {
-			f.Close()
 			return nil, fmt.Errorf("store: read frame at %d: %w", offset, err)
 		}
 		r, err := decodeRecord(frame)
 		if err != nil {
-			f.Close()
-			return nil, err
+			return nil, fmt.Errorf("%w (frame at offset %d)", err, offset)
 		}
 		if _, dup := s.offsets[r.BookID]; dup {
-			f.Close()
 			return nil, fmt.Errorf("store: duplicate BookID %d", r.BookID)
 		}
 		s.offsets[r.BookID] = offset
 		s.order = append(s.order, r.BookID)
-		offset += 4 + int64(frameLen)
+		offset += 4 + frameLen
+	}
+	if torn != nil {
+		if !cfg.recover {
+			return nil, torn
+		}
+		if err := f.Truncate(torn.good); err != nil {
+			return nil, fmt.Errorf("store: truncate torn tail at %d: %w", torn.good, err)
+		}
+		if err := f.Sync(); err != nil {
+			return nil, fmt.Errorf("store: sync after repair: %w", err)
+		}
+		s.RepairedBytes = size - torn.good
 	}
 	return s, nil
 }
@@ -224,7 +336,11 @@ func (s *Store) Get(bookID int64) (*record.Record, error) {
 	if _, err := s.f.ReadAt(lenBuf[:], offset); err != nil {
 		return nil, fmt.Errorf("store: read length of %d: %w", bookID, err)
 	}
-	frame := make([]byte, binary.LittleEndian.Uint32(lenBuf[:]))
+	frameLen := binary.LittleEndian.Uint32(lenBuf[:])
+	if frameLen > MaxFrameLen {
+		return nil, fmt.Errorf("store: frame length %d of record %d exceeds cap %d", frameLen, bookID, MaxFrameLen)
+	}
+	frame := make([]byte, frameLen)
 	if _, err := s.f.ReadAt(frame, offset+4); err != nil {
 		return nil, fmt.Errorf("store: read frame of %d: %w", bookID, err)
 	}
@@ -247,17 +363,52 @@ func (s *Store) All() ([]*record.Record, error) {
 // Close releases the file.
 func (s *Store) Close() error { return s.f.Close() }
 
-// WriteAll is a convenience that stores a record slice in one call.
+// WriteAll stores a record slice atomically: it writes a temp file in
+// the target's directory, fsyncs it, and renames it over the target, so
+// a crash mid-write leaves either the old file or the new one — never a
+// half-written store under the final name.
 func WriteAll(path string, records []*record.Record) error {
-	w, err := Create(path)
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
+	tmpPath := tmp.Name()
+	// Any failure before the rename removes the temp file; the target is
+	// untouched either way.
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	w, err := newWriter(tmp)
+	if err != nil {
+		return fail(err)
+	}
 	for _, r := range records {
 		if err := w.Append(r); err != nil {
-			w.Close()
-			return err
+			return fail(err)
 		}
 	}
-	return w.Close()
+	if err := w.buf.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := os.Rename(tmpPath, path); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	// Persist the rename itself. Directory fsync is advisory on some
+	// platforms; failure to open the directory is not fatal.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
 }
