@@ -3,11 +3,15 @@
 // Usage:
 //
 //	yvbench [-scale quick|full] [-list] [-report out.json] [-v] [exp ...]
+//	yvbench -bench-blocking out.json
 //
 // With no experiment ids, every experiment runs in paper order. Use -list
 // to enumerate the available ids. -report writes the accumulated
 // telemetry registry (every counter, gauge, and histogram the runs
-// produced) as JSON when the experiments finish.
+// produced) as JSON when the experiments finish. -bench-blocking skips
+// the experiments entirely and instead micro-benchmarks the blocking
+// engine hot paths (FP-tree build, maximal mining at several worker
+// counts, support-set probes), writing a machine-readable JSON report.
 package main
 
 import (
@@ -23,11 +27,20 @@ import (
 func main() {
 	scaleFlag := flag.String("scale", "quick", "dataset scale: quick or full")
 	list := flag.Bool("list", false, "list experiment ids and exit")
-	workers := flag.Int("workers", 0, "pair-scoring workers for pipeline experiments (0 = GOMAXPROCS, 1 = serial)")
+	workers := flag.Int("workers", 0, "blocking and pair-scoring workers for pipeline experiments (0 = GOMAXPROCS, 1 = serial)")
 	reportPath := flag.String("report", "", "write the accumulated telemetry registry (JSON) to this file")
+	benchBlocking := flag.String("bench-blocking", "", "benchmark the blocking engine hot paths and write the JSON report to this file, then exit")
 	verbose := flag.Bool("v", false, "debug logging (per-stage and per-iteration telemetry)")
 	flag.Parse()
 	telemetry.SetVerbose(*verbose)
+
+	if *benchBlocking != "" {
+		if err := runBlockingBench(*benchBlocking); err != nil {
+			fmt.Fprintf(os.Stderr, "yvbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *workers < 0 {
 		fmt.Fprintf(os.Stderr, "yvbench: -workers must be >= 0, got %d\n", *workers)

@@ -35,7 +35,7 @@ func main() {
 	first := flag.String("first", "", "search: first name (matched through equivalence classes)")
 	last := flag.String("last", "", "search: last name")
 	modelPath := flag.String("model", "", "trained ADTree model (from yvtrain); enables classification")
-	workers := flag.Int("workers", 0, "pair-scoring workers (0 = GOMAXPROCS, 1 = serial)")
+	workers := flag.Int("workers", 0, "blocking and pair-scoring workers (0 = GOMAXPROCS, 1 = serial)")
 	reportPath := flag.String("report", "", "write the run's telemetry report (JSON) to this file")
 	verbose := flag.Bool("v", false, "debug logging (per-stage and per-iteration telemetry)")
 	flag.Parse()

@@ -49,10 +49,12 @@ type Options struct {
 	// Classify drops pairs the model scores at or below zero (the Cls
 	// condition). Requires Model.
 	Classify bool
-	// Workers bounds the goroutines scoring candidate pairs: 0 means
-	// GOMAXPROCS, 1 runs the exact serial path. Output is deterministic —
-	// identical Matches order and discard counters — for every worker
-	// count.
+	// Workers bounds the goroutines used by the pipeline's parallel
+	// stages: candidate-pair scoring and — unless Blocking.Workers is set
+	// explicitly — the blocking stage's MFI mining and block construction.
+	// 0 means GOMAXPROCS, 1 runs the exact serial paths. Output is
+	// deterministic — identical Matches order, candidate pairs, and
+	// discard counters — for every worker count.
 	Workers int
 	// Metrics receives pipeline counters, timings, and distributions
 	// (core_*, mfiblocks_*, fpgrowth_* families); nil falls back to
@@ -180,6 +182,12 @@ func Run(opts Options, coll *record.Collection) (*Resolution, error) {
 		// report where the pipeline reports.
 		opts.Blocking.Metrics = reg
 	}
+	if opts.Blocking.Workers == 0 {
+		// One worker knob for the whole pipeline: -workers bounds the
+		// blocking fan-out exactly as it bounds pair scoring, unless the
+		// blocking config pins its own count.
+		opts.Blocking.Workers = opts.Workers
+	}
 	report := &telemetry.RunReport{
 		SchemaVersion: telemetry.ReportSchemaVersion,
 		Records:       coll.Len(),
@@ -276,6 +284,7 @@ func blockingReport(blk *mfiblocks.Result) *telemetry.BlockingReport {
 	for _, it := range blk.Iterations {
 		br.Iterations = append(br.Iterations, telemetry.IterationReport{
 			MinSup:     it.MinSup,
+			Active:     it.Active,
 			MFIs:       it.MFIs,
 			Blocks:     it.Blocks,
 			CSPruned:   it.CSPruned,

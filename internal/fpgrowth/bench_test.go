@@ -1,6 +1,7 @@
 package fpgrowth
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 	"testing"
@@ -24,13 +25,28 @@ func benchTxns(n, universe, maxLen int) [][]int {
 	return txns
 }
 
-func BenchmarkMineMaximal(b *testing.B) {
+func BenchmarkTreeBuild(b *testing.B) {
 	txns := benchTxns(2000, 800, 14)
 	m := NewMiner(txns)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m.MineMaximal(3, nil)
+		m.TreeStats(3, nil)
+	}
+}
+
+func BenchmarkMineMaximal(b *testing.B) {
+	txns := benchTxns(2000, 800, 14)
+	for _, workers := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			m := NewMiner(txns)
+			m.Workers = workers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.MineMaximal(3, nil)
+			}
+		})
 	}
 }
 
@@ -55,7 +71,7 @@ func BenchmarkSupportSet(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		idx.SupportSet(mfis[i%len(mfis)].Items, nil)
+		idx.SupportSet(mfis[i%len(mfis)].Items)
 	}
 }
 

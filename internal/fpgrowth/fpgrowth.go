@@ -7,10 +7,17 @@
 // itemset is the number of transactions containing it. An itemset is
 // frequent when its support is at least minsup and maximal when no frequent
 // strict superset exists.
+//
+// Item ids must be non-negative and reasonably dense (dictionary-interned
+// ids): frequencies, ranks, and the inverted index are all flat slices
+// indexed by item id. Trees are flat arenas (tree.go) and maximal mining
+// fans out across a worker pool (mfi.go) while staying bit-identical to
+// the serial result.
 package fpgrowth
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
@@ -30,92 +37,60 @@ func (s Itemset) String() string {
 	return fmt.Sprintf("%v(sup=%d)", s.Items, s.Support)
 }
 
-// fpNode is one FP-tree node.
-type fpNode struct {
-	item     int
-	count    int
-	parent   *fpNode
-	children map[int]*fpNode
-	nextHom  *fpNode // next node holding the same item (header list)
-}
-
-// fpTree is an FP-tree with its header table.
-type fpTree struct {
-	root    *fpNode
-	headers map[int]*fpNode // item -> first node in header list
-	counts  map[int]int     // item -> total support in this tree
-}
-
-func newTree() *fpTree {
-	return &fpTree{
-		root:    &fpNode{item: -1, children: make(map[int]*fpNode)},
-		headers: make(map[int]*fpNode),
-		counts:  make(map[int]int),
-	}
-}
-
-// insert adds a transaction (items must be ordered by the tree's item
-// order) with the given count.
-func (t *fpTree) insert(items []int, count int) {
-	node := t.root
-	for _, it := range items {
-		child, ok := node.children[it]
-		if !ok {
-			child = &fpNode{item: it, parent: node, children: make(map[int]*fpNode)}
-			node.children[it] = child
-			child.nextHom = t.headers[it]
-			t.headers[it] = child
-		}
-		child.count += count
-		t.counts[it] += count
-		node = child
-	}
-}
-
-// singlePath returns the tree's unique path when the tree is a chain, or
-// nil.
-func (t *fpTree) singlePath() []*fpNode {
-	var path []*fpNode
-	node := t.root
-	for {
-		if len(node.children) == 0 {
-			return path
-		}
-		if len(node.children) > 1 {
-			return nil
-		}
-		for _, c := range node.children {
-			node = c
-		}
-		path = append(path, node)
-	}
-}
-
 // Miner mines frequent itemsets from a fixed transaction database.
 type Miner struct {
 	transactions [][]int
+	maxItem      int // largest item id seen; -1 when empty
 	// Pruned items are excluded from mining entirely (the paper prunes
 	// the most frequent .03% of items).
-	pruned map[int]bool
+	pruned []bool
 	// Metrics, when set, receives tree-build and mining timings plus
 	// mined-itemset counts (fpgrowth_* families). Nil disables.
 	Metrics *telemetry.Registry
+	// Workers bounds the goroutines MineMaximal fans the top-level header
+	// items out to: 0 means GOMAXPROCS, 1 runs the exact serial path. The
+	// mined MFIs are bit-identical for every worker count.
+	Workers int
 }
 
 // NewMiner builds a miner over the transactions. Each transaction must be
-// a set (no duplicate ids); order is irrelevant.
+// a set (no duplicate ids) of non-negative item ids; order is irrelevant.
 func NewMiner(transactions [][]int) *Miner {
-	return &Miner{transactions: transactions}
+	maxItem := -1
+	for _, txn := range transactions {
+		for _, it := range txn {
+			if it < 0 {
+				panic(fmt.Sprintf("fpgrowth: negative item id %d", it))
+			}
+			if it > maxItem {
+				maxItem = it
+			}
+		}
+	}
+	return &Miner{transactions: transactions, maxItem: maxItem}
 }
 
 // Prune excludes the given item ids from all subsequent mining.
 func (m *Miner) Prune(items []int) {
 	if m.pruned == nil {
-		m.pruned = make(map[int]bool, len(items))
+		m.pruned = make([]bool, m.maxItem+1)
 	}
 	for _, it := range items {
-		m.pruned[it] = true
+		if it >= 0 && it < len(m.pruned) {
+			m.pruned[it] = true
+		}
 	}
+}
+
+func (m *Miner) isPruned(it int) bool {
+	return m.pruned != nil && m.pruned[it]
+}
+
+func (m *Miner) workers() int {
+	if m.Workers > 0 {
+		return m.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Mine returns all frequent itemsets with support >= minsup, over the
@@ -126,64 +101,104 @@ func (m *Miner) Mine(minsup int, active []int) []Itemset {
 		minsup = 1
 	}
 	t0 := time.Now()
-	tree, _ := m.buildTree(minsup, active)
-	m.Metrics.Timer("fpgrowth_tree_build_seconds").Observe(time.Since(t0))
+	tree, order := m.buildFlatTree(minsup, active, nil)
+	m.Metrics.Timer(telemetry.FamilyFPGrowthTreeBuild).Observe(time.Since(t0))
 	t1 := time.Now()
 	var out []Itemset
-	mineTree(tree, nil, minsup, &out)
+	ctx := newMineCtx(order, minsup)
+	ctx.mineTree(tree, 0, &out)
 	for i := range out {
 		sort.Ints(out[i].Items)
 	}
-	m.Metrics.Timer("fpgrowth_mine_seconds").Observe(time.Since(t1))
+	m.Metrics.Timer(telemetry.FamilyFPGrowthMine).Observe(time.Since(t1))
 	m.Metrics.Counter("fpgrowth_itemsets_total").Add(int64(len(out)))
 	return out
 }
 
-// buildTree constructs the initial FP-tree over frequent items only, with
-// items ordered by descending frequency. It also returns the structural
-// rank of each frequent item (lower rank = closer to the root on every
-// path).
-func (m *Miner) buildTree(minsup int, active []int) (*fpTree, map[int]int) {
-	freq := make(map[int]int)
-	forEachActive(m.transactions, active, func(txn []int) {
-		for _, it := range txn {
-			if !m.pruned[it] {
-				freq[it]++
+// TreeStats builds the rank-ordered FP-tree for the given support level and
+// reports its size: the node count (excluding the root) and the number of
+// frequent items. It exposes the tree-construction hot path in isolation
+// for benchmarks (cmd/yvbench -bench-blocking) and introspection.
+func (m *Miner) TreeStats(minsup int, active []int) (nodes, items int) {
+	if minsup < 1 {
+		minsup = 1
+	}
+	tree, order := m.buildFlatTree(minsup, active, nil)
+	return len(tree.item) - 1, len(order)
+}
+
+// buildFlatTree constructs the initial FP-tree over frequent items only,
+// with items ordered by descending frequency, and returns it together with
+// the rank -> item-id order (lower rank = closer to the root on every
+// path). When freq is non-nil it must hold the per-item-id occurrence
+// counts over the active transactions, sparing the counting pass — the
+// incremental path mfiblocks.Run maintains across its minsup iterations.
+func (m *Miner) buildFlatTree(minsup int, active []int, freq []int) (*flatTree, []int) {
+	counts := freq
+	if counts == nil {
+		counts = make([]int, m.maxItem+1)
+		forEachActive(m.transactions, active, func(txn []int) {
+			for _, it := range txn {
+				counts[it]++
 			}
-		}
-	})
-	order := make([]int, 0, len(freq))
-	for it, f := range freq {
-		if f >= minsup {
+		})
+	}
+	limit := m.maxItem + 1
+	if limit > len(counts) {
+		limit = len(counts)
+	}
+	order := make([]int, 0, limit)
+	totalOccurrences := 0
+	for it := 0; it < limit; it++ {
+		if counts[it] >= minsup && !m.isPruned(it) {
 			order = append(order, it)
+			totalOccurrences += counts[it]
 		}
 	}
+	// Descending frequency, ascending id on ties: ascending rank is the
+	// structural item order on every tree path.
 	sort.Slice(order, func(i, j int) bool {
-		if freq[order[i]] != freq[order[j]] {
-			return freq[order[i]] > freq[order[j]]
+		if counts[order[i]] != counts[order[j]] {
+			return counts[order[i]] > counts[order[j]]
 		}
 		return order[i] < order[j]
 	})
-	rank := make(map[int]int, len(order))
-	for i, it := range order {
-		rank[it] = i
+	rankOf := make([]int32, m.maxItem+1)
+	for i := range rankOf {
+		rankOf[i] = -1
+	}
+	for r, it := range order {
+		rankOf[it] = int32(r)
 	}
 
-	tree := newTree()
-	buf := make([]int, 0, 32)
+	tree := newFlatTree(len(order), totalOccurrences)
+	buf := make([]int32, 0, 32)
 	forEachActive(m.transactions, active, func(txn []int) {
 		buf = buf[:0]
 		for _, it := range txn {
-			if _, ok := rank[it]; ok {
-				buf = append(buf, it)
+			if r := rankOf[it]; r >= 0 {
+				buf = append(buf, r)
 			}
 		}
-		sort.Slice(buf, func(i, j int) bool { return rank[buf[i]] < rank[buf[j]] })
-		if len(buf) > 0 {
-			tree.insert(buf, 1)
+		if len(buf) == 0 {
+			return
 		}
+		// Transactions hold each item at most once, so the rank list is
+		// duplicate-free; ascending rank order is the insertion order.
+		sortInt32(buf)
+		tree.insertPath(buf, 1)
 	})
-	return tree, rank
+	return tree, order
+}
+
+// sortInt32 sorts small rank buffers ascending. Insertion sort beats the
+// generic sort for the short, mostly-presorted per-transaction buffers.
+func sortInt32(a []int32) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
 }
 
 func forEachActive(txns [][]int, active []int, fn func([]int)) {
@@ -201,89 +216,78 @@ func forEachActive(txns [][]int, active []int, fn func([]int)) {
 // mineTree is the recursive FP-Growth step: for each item in the tree
 // (least frequent first), emit suffix+item and recurse into the item's
 // conditional tree. Single-path trees short-circuit to combinations.
-func mineTree(t *fpTree, suffix []int, minsup int, out *[]Itemset) {
-	if path := t.singlePath(); path != nil {
-		emitPathCombinations(path, suffix, minsup, out)
+func (ctx *mineCtx) mineTree(t *flatTree, depth int, out *[]Itemset) {
+	if nodes, ok := t.singlePath(ctx.sp[:0]); ok {
+		ctx.emitPathCombinations(t, nodes, out)
+		ctx.sp = nodes[:0]
 		return
 	}
-	// Items in ascending support order for bottom-up growth.
-	items := make([]int, 0, len(t.counts))
-	for it, c := range t.counts {
-		if c >= minsup {
-			items = append(items, it)
+	// Items in ascending support order for bottom-up growth, original item
+	// id descending on ties (the historical emission order).
+	lv := ctx.level(depth)
+	items := lv.items[:0]
+	for _, r := range t.ranks {
+		if t.cnt[r] >= ctx.minsup {
+			items = append(items, r)
 		}
 	}
 	sort.Slice(items, func(i, j int) bool {
-		if t.counts[items[i]] != t.counts[items[j]] {
-			return t.counts[items[i]] < t.counts[items[j]]
+		if t.cnt[items[i]] != t.cnt[items[j]] {
+			return t.cnt[items[i]] < t.cnt[items[j]]
 		}
-		return items[i] > items[j]
+		return ctx.order[items[i]] > ctx.order[items[j]]
 	})
-	for _, it := range items {
-		newSuffix := append(append([]int(nil), suffix...), it)
-		*out = append(*out, Itemset{Items: newSuffix, Support: t.counts[it]})
+	lv.items = items
+	for _, r := range items {
+		newSuffix := make([]int, 0, len(ctx.suffix)+1)
+		newSuffix = append(newSuffix, ctx.suffix...)
+		newSuffix = append(newSuffix, ctx.order[r])
+		*out = append(*out, Itemset{Items: newSuffix, Support: t.cnt[r]})
 
-		// Build the conditional tree from the prefix paths of `it`,
-		// rebuilt to contain only items frequent within it.
-		pruned := pruneTree(conditionalTree(t, it), minsup)
-		if len(pruned.counts) > 0 {
-			mineTree(pruned, newSuffix, minsup, out)
+		cond := ctx.getTree()
+		ctx.buildConditional(t, r, cond)
+		if len(cond.ranks) > 0 {
+			ctx.suffix = append(ctx.suffix, ctx.order[r])
+			ctx.mineTree(cond, depth+1, out)
+			ctx.suffix = ctx.suffix[:len(ctx.suffix)-1]
 		}
+		ctx.putTree(cond)
 	}
 }
 
-// pruneTree rebuilds a conditional tree keeping only items with support >=
-// minsup, preserving path counts.
-func pruneTree(t *fpTree, minsup int) *fpTree {
-	keep := make(map[int]bool, len(t.counts))
-	for it, c := range t.counts {
-		if c >= minsup {
-			keep[it] = true
-		}
-	}
-	out := newTree()
-	// Walk all leaf-to-root paths via DFS, reinserting filtered paths.
-	var walk func(node *fpNode, path []int)
-	walk = func(node *fpNode, path []int) {
-		cur := path
-		if node.item >= 0 && keep[node.item] {
-			cur = append(append([]int(nil), path...), node.item)
-		}
-		childSum := 0
-		for _, c := range node.children {
-			childSum += c.count
-			walk(c, cur)
-		}
-		if node.item >= 0 {
-			// Count mass terminating at this node.
-			if rem := node.count - childSum; rem > 0 && len(cur) > 0 {
-				out.insert(cur, rem)
-			}
-		}
-	}
-	walk(t.root, nil)
-	return out
-}
+// maxSinglePathItems bounds the frequent single-path prefix
+// emitPathCombinations will enumerate: a path of n frequent nodes implies
+// 2^n-1 itemsets, and the historical `1 << len(path)` mask overflowed int
+// at 63 nodes, silently emitting nothing. 62 keeps the mask arithmetic
+// exact in a uint64 while staying far beyond anything enumerable in
+// practice.
+const maxSinglePathItems = 62
 
 // emitPathCombinations emits every non-empty combination of a single-path
-// tree's nodes, appended to suffix, with the support of the deepest node in
-// the combination.
-func emitPathCombinations(path []*fpNode, suffix []int, minsup int, out *[]Itemset) {
+// tree's nodes, appended to the current suffix, with the support of the
+// deepest node in the combination.
+func (ctx *mineCtx) emitPathCombinations(t *flatTree, nodes []int32, out *[]Itemset) {
 	// Filter path nodes below minsup (the path is count-monotonic
 	// decreasing, so frequent nodes form a prefix).
 	n := 0
-	for n < len(path) && path[n].count >= minsup {
+	for n < len(nodes) && t.count[nodes[n]] >= ctx.minsup {
 		n++
 	}
-	path = path[:n]
-	total := 1 << uint(len(path))
-	for mask := 1; mask < total; mask++ {
-		items := append([]int(nil), suffix...)
+	nodes = nodes[:n]
+	if len(nodes) > maxSinglePathItems {
+		panic(fmt.Sprintf(
+			"fpgrowth: single-path tree with %d frequent nodes implies 2^%d-1 itemsets; refusing to enumerate more than 2^%d",
+			len(nodes), len(nodes), maxSinglePathItems))
+	}
+	total := uint64(1) << uint(len(nodes))
+	for mask := uint64(1); mask < total; mask++ {
+		items := make([]int, 0, len(ctx.suffix)+len(nodes))
+		items = append(items, ctx.suffix...)
 		sup := 0
-		for i := 0; i < len(path); i++ {
+		for i := 0; i < len(nodes); i++ {
 			if mask&(1<<uint(i)) != 0 {
-				items = append(items, path[i].item)
-				sup = path[i].count // deepest selected node
+				items = append(items, ctx.order[t.item[nodes[i]]])
+				sup = t.count[nodes[i]] // deepest selected node
 			}
 		}
 		*out = append(*out, Itemset{Items: items, Support: sup})

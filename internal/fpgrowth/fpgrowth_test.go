@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"reflect"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -191,23 +192,85 @@ func TestSupportSet(t *testing.T) {
 	txns := [][]int{{0, 1}, {0, 1, 2}, {1, 2}, {0, 2}}
 	idx := NewMiner(txns).BuildIndex()
 
-	got := idx.SupportSet([]int{0, 1}, nil)
+	got := idx.SupportSet([]int{0, 1})
 	if want := []int{0, 1}; !reflect.DeepEqual(got, want) {
 		t.Errorf("SupportSet({0,1}) = %v, want %v", got, want)
 	}
 
-	mask := []bool{false, true, true, true}
-	got = idx.SupportSet([]int{0, 1}, mask)
-	if want := []int{1}; !reflect.DeepEqual(got, want) {
-		t.Errorf("masked SupportSet = %v, want %v", got, want)
-	}
-
-	if got := idx.SupportSet([]int{5}, nil); got != nil {
+	if got := idx.SupportSet([]int{5}); got != nil {
 		t.Errorf("unknown item support = %v, want nil", got)
 	}
-	if got := idx.SupportSet(nil, nil); got != nil {
+	if got := idx.SupportSet(nil); got != nil {
 		t.Errorf("empty itemset support = %v, want nil", got)
 	}
+	if got := idx.SupportSet([]int{0, 1, 2}); !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("SupportSet({0,1,2}) = %v, want [1]", got)
+	}
+}
+
+// TestSupportSetBitsetPathsAgree forces the dense-bitset paths (membership
+// probing and whole-word AND) and checks them against a naive reference
+// intersection. The generated collection is large enough that common items
+// clear the bitset cutoff while rare items keep the posting-list path.
+func TestSupportSetBitsetPathsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const nTxn = 4096
+	txns := make([][]int, nTxn)
+	for i := range txns {
+		seen := map[int]bool{
+			rng.Intn(4): true, // a handful of very dense items
+		}
+		for k := 0; k < 3+rng.Intn(6); k++ {
+			seen[4+rng.Intn(200)] = true
+		}
+		if rng.Intn(64) == 0 {
+			seen[300+rng.Intn(8)] = true // sparse tail items
+		}
+		for it := range seen {
+			txns[i] = append(txns[i], it)
+		}
+		sort.Ints(txns[i])
+	}
+	idx := NewMiner(txns).BuildIndex()
+
+	naive := func(items []int) []int {
+		var out []int
+		for ti, txn := range txns {
+			if containsAll(txn, items) {
+				out = append(out, ti)
+			}
+		}
+		return out
+	}
+	queries := [][]int{
+		{0, 1},          // all dense: word-AND path
+		{0, 1, 2, 3},    // all dense, deeper AND
+		{0, 301},        // dense + sparse: probe path
+		{301, 302},      // all sparse: merge path
+		{0, 17, 301},    // mixed
+		{2, 42, 99},     // dense driver with mid-frequency items
+		{0, 1, 2, 3, 0}, // duplicate item must be harmless
+	}
+	for _, q := range queries {
+		got := idx.SupportSet(q)
+		want := naive(q)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("SupportSet(%v): got %d txns, want %d (first divergence near %v)",
+				q, len(got), len(want), firstDiff(got, want))
+		}
+	}
+}
+
+func firstDiff(a, b []int) [2]int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return [2]int{a[i], b[i]}
+		}
+	}
+	return [2]int{len(a), len(b)}
 }
 
 func TestSupportSetMatchesMinedSupport(t *testing.T) {
@@ -226,7 +289,7 @@ func TestSupportSetMatchesMinedSupport(t *testing.T) {
 	m := NewMiner(txns)
 	idx := m.BuildIndex()
 	for _, s := range m.Mine(2, nil) {
-		if got := len(idx.SupportSet(s.Items, nil)); got != s.Support {
+		if got := len(idx.SupportSet(s.Items)); got != s.Support {
 			t.Errorf("itemset %v: index support %d != mined support %d", s.Items, got, s.Support)
 		}
 	}
@@ -243,6 +306,61 @@ func TestEmptyAndDegenerateInputs(t *testing.T) {
 	got := NewMiner([][]int{{3}}).Mine(0, nil)
 	if len(got) != 1 || got[0].Support != 1 {
 		t.Errorf("clamped minsup mined %v", got)
+	}
+}
+
+// TestSinglePathCombinations exercises the single-path fast path at a size
+// where full enumeration is checkable: a 16-item chain yields exactly
+// 2^16-1 itemsets, each with the support of its deepest item.
+func TestSinglePathCombinations(t *testing.T) {
+	path := make([]int, 16)
+	for i := range path {
+		path[i] = i
+	}
+	got := NewMiner([][]int{path}).Mine(1, nil)
+	if want := 1<<16 - 1; len(got) != want {
+		t.Fatalf("single path mined %d itemsets, want %d", len(got), want)
+	}
+	for _, s := range got {
+		if s.Support != 1 {
+			t.Fatalf("itemset %v has support %d, want 1", s.Items, s.Support)
+		}
+	}
+}
+
+// TestEmitPathCombinationsOverflowGuard is the regression test for the
+// historical `1 << len(path)` int overflow: a single path of >= 63
+// frequent nodes used to overflow the mask bound and silently emit
+// nothing. The enumeration now refuses loudly instead.
+func TestEmitPathCombinationsOverflowGuard(t *testing.T) {
+	long := make([]int, 70)
+	for i := range long {
+		long[i] = i
+	}
+	m := NewMiner([][]int{long})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Mine over a 70-node single path returned instead of refusing")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "refusing to enumerate") {
+			t.Fatalf("unexpected panic value: %v", r)
+		}
+	}()
+	m.Mine(1, nil)
+}
+
+// TestMineMaximalLongSinglePath: maximal mining never enumerates path
+// combinations, so the same 70-item chain must mine fine — one MFI, the
+// full path.
+func TestMineMaximalLongSinglePath(t *testing.T) {
+	long := make([]int, 70)
+	for i := range long {
+		long[i] = i
+	}
+	got := NewMiner([][]int{long, long}).MineMaximal(2, nil)
+	if len(got) != 1 || len(got[0].Items) != 70 || got[0].Support != 2 {
+		t.Fatalf("long-path MFI = %v, want one 70-item set with support 2", got)
 	}
 }
 

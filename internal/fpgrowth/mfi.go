@@ -2,7 +2,10 @@ package fpgrowth
 
 import (
 	"sort"
+	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // MineMaximal returns only the maximal frequent itemsets: frequent itemsets
@@ -11,21 +14,102 @@ import (
 // FilterMaximal, maximal sets are mined directly (FPmax-style) with
 // subsumption pruning, avoiding the exponential enumeration of all
 // frequent itemsets.
+//
+// Mining fans the top-level header items out across Workers goroutines,
+// each mining its conditional subtrees into a worker-local MFI store; the
+// stores are merged in deterministic worker order and swept by
+// FilterMaximal, so the output is bit-identical for every worker count.
 func (m *Miner) MineMaximal(minsup int, active []int) []Itemset {
+	return m.mineMaximal(minsup, active, nil)
+}
+
+// MineMaximalFreq is MineMaximal with caller-supplied item frequencies:
+// freq[id] must be the occurrence count of item id over the active
+// transactions. Callers that maintain frequencies incrementally (like
+// mfiblocks.Run, which decrements counts as records become covered) spare
+// the full counting pass a plain MineMaximal performs per call.
+func (m *Miner) MineMaximalFreq(minsup int, active []int, freq []int) []Itemset {
+	return m.mineMaximal(minsup, active, freq)
+}
+
+func (m *Miner) mineMaximal(minsup int, active []int, freq []int) []Itemset {
 	if minsup < 1 {
 		minsup = 1
 	}
 	t0 := time.Now()
-	tree, rank := m.buildTree(minsup, active)
-	m.Metrics.Timer("fpgrowth_tree_build_seconds").Observe(time.Since(t0))
+	tree, order := m.buildFlatTree(minsup, active, freq)
+	m.Metrics.Timer(telemetry.FamilyFPGrowthTreeBuild).Observe(time.Since(t0))
 	t1 := time.Now()
-	store := newMFIStore()
-	fpmax(tree, nil, minsup, rank, store)
-	// Safety net: the structural-order argument guarantees no stored set
-	// is subsumed by a later one, but a final maximality sweep is cheap
-	// relative to mining and makes the guarantee independent of ordering
-	// subtleties.
-	out := FilterMaximal(store.sets)
+
+	// Top-level header items deepest-first (descending structural rank):
+	// an item's conditional tree only contains items processed after it in
+	// the serial order — the invariant the store's no-late-subsumption
+	// argument relies on. The root tree holds exactly the frequent items,
+	// so every rank is a top-level item.
+	top := make([]int32, 0, len(order))
+	for r := len(order) - 1; r >= 0; r-- {
+		if tree.cnt[r] >= minsup {
+			top = append(top, int32(r))
+		}
+	}
+
+	workers := m.workers()
+	if workers > len(top) {
+		workers = len(top)
+	}
+	m.Metrics.Gauge(telemetry.FamilyFPGrowthWorkers).Set(float64(workers))
+
+	var sets []Itemset
+	switch {
+	case len(top) == 0:
+		// No frequent items: nothing to mine.
+	case workers <= 1:
+		ctx := newMineCtx(order, minsup)
+		ctx.store = newMFIStore()
+		for _, r := range top {
+			ctx.mineTopItem(tree, r)
+		}
+		sets = ctx.store.sets
+	default:
+		// Deterministic round-robin assignment: worker w owns top[w],
+		// top[w+W], ... — contiguous chunks would hand all the cheap
+		// deep-rank items to one worker and the expensive shallow ones to
+		// another. Each worker keeps the serial deepest-first order within
+		// its share, preserving most of the store's subsumption-pruning
+		// power; cross-worker redundancy is swept by FilterMaximal below.
+		stores := make([]*mfiStore, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				ctx := newMineCtx(order, minsup)
+				ctx.store = newMFIStore()
+				for i := w; i < len(top); i += workers {
+					ctx.mineTopItem(tree, top[i])
+				}
+				stores[w] = ctx.store
+			}(w)
+		}
+		wg.Wait()
+		t2 := time.Now()
+		total := 0
+		for _, s := range stores {
+			total += len(s.sets)
+		}
+		sets = make([]Itemset, 0, total)
+		for _, s := range stores {
+			sets = append(sets, s.sets...)
+		}
+		m.Metrics.Timer(telemetry.FamilyFPGrowthMerge).Observe(time.Since(t2))
+	}
+
+	// Maximality sweep over the merged candidates. For Workers=1 this is
+	// the historical safety net (the structural-order argument already
+	// guarantees no stored set is subsumed by a later one); for Workers>1
+	// it also removes the cross-worker redundancy, making the output
+	// independent of the fan-out.
+	out := FilterMaximal(sets)
 	sort.Slice(out, func(a, b int) bool {
 		x, y := out[a].Items, out[b].Items
 		for i := 0; i < len(x) && i < len(y); i++ {
@@ -35,14 +119,124 @@ func (m *Miner) MineMaximal(minsup int, active []int) []Itemset {
 		}
 		return len(x) < len(y)
 	})
-	m.Metrics.Timer("fpgrowth_mine_seconds").Observe(time.Since(t1))
+	m.Metrics.Timer(telemetry.FamilyFPGrowthMine).Observe(time.Since(t1))
 	m.Metrics.Counter("fpgrowth_mfis_total").Add(int64(len(out)))
 	return out
 }
 
+// mineTopItem runs one top-level item of the FPmax loop: build the item's
+// conditional tree, apply head-union-tail subsumption pruning, recurse,
+// and record the suffix itself when nothing extends it.
+func (ctx *mineCtx) mineTopItem(t *flatTree, r int32) {
+	cond := ctx.getTree()
+	ctx.buildConditional(t, r, cond)
+	if len(cond.ranks) == 0 {
+		ctx.store.insert([]int{ctx.order[r]}, t.cnt[r])
+		ctx.putTree(cond)
+		return
+	}
+	lv := ctx.level(0)
+	cand := append(lv.cand[:0], ctx.order[r])
+	for _, cr := range cond.ranks {
+		cand = append(cand, ctx.order[cr])
+	}
+	sort.Ints(cand)
+	lv.cand = cand
+	if ctx.store.subsumes(cand) {
+		ctx.putTree(cond)
+		return
+	}
+	ctx.suffix = append(ctx.suffix[:0], ctx.order[r])
+	ctx.fpmax(cond, 1)
+	ctx.suffix = ctx.suffix[:0]
+	ctx.putTree(cond)
+	ctx.store.insert([]int{ctx.order[r]}, t.cnt[r])
+}
+
+// fpmax mines maximal itemsets from the (conditional) tree under the
+// current ctx.suffix. Header items are processed deepest-first (descending
+// structural rank). Every item present in a conditional tree is frequent
+// by construction (buildConditional filters), so no support check is
+// needed when gathering the level's items.
+func (ctx *mineCtx) fpmax(t *flatTree, depth int) {
+	if nodes, ok := t.singlePath(ctx.sp[:0]); ok {
+		// The only maximal candidate from a single path is the full
+		// frequent prefix of the path plus the suffix.
+		items := make([]int, 0, len(ctx.suffix)+len(nodes))
+		items = append(items, ctx.suffix...)
+		support := 0
+		for _, n := range nodes {
+			if t.count[n] < ctx.minsup {
+				break
+			}
+			items = append(items, ctx.order[t.item[n]])
+			support = t.count[n]
+		}
+		ctx.sp = nodes[:0]
+		if support > 0 {
+			sort.Ints(items)
+			ctx.store.insert(items, support)
+		}
+		return
+	}
+	lv := ctx.level(depth)
+	// Head-union-tail pruning: if suffix plus every item here is already
+	// covered, nothing new can emerge from this subtree.
+	all := append(lv.cand[:0], ctx.suffix...)
+	for _, r := range t.ranks {
+		all = append(all, ctx.order[r])
+	}
+	sort.Ints(all)
+	lv.cand = all
+	if ctx.store.subsumes(all) {
+		return
+	}
+
+	// Process header items deepest-first (descending structural rank).
+	items := append(lv.items[:0], t.ranks...)
+	sort.Slice(items, func(i, j int) bool { return items[i] > items[j] })
+	lv.items = items
+	for _, r := range items {
+		cond := ctx.getTree()
+		ctx.buildConditional(t, r, cond)
+		if len(cond.ranks) == 0 {
+			sorted := make([]int, 0, len(ctx.suffix)+1)
+			sorted = append(sorted, ctx.suffix...)
+			sorted = append(sorted, ctx.order[r])
+			sort.Ints(sorted)
+			ctx.store.insert(sorted, t.cnt[r])
+			ctx.putTree(cond)
+			continue
+		}
+		// Subsumption pruning on head ∪ tail of the conditional tree.
+		cand := append(lv.cand[:0], ctx.suffix...)
+		cand = append(cand, ctx.order[r])
+		for _, cr := range cond.ranks {
+			cand = append(cand, ctx.order[cr])
+		}
+		sort.Ints(cand)
+		lv.cand = cand
+		if ctx.store.subsumes(cand) {
+			ctx.putTree(cond)
+			continue
+		}
+		ctx.suffix = append(ctx.suffix, ctx.order[r])
+		ctx.fpmax(cond, depth+1)
+		ctx.suffix = ctx.suffix[:len(ctx.suffix)-1]
+		ctx.putTree(cond)
+		// The bare suffix+item may itself be maximal when no extension
+		// found in the subtree covers it.
+		sorted := make([]int, 0, len(ctx.suffix)+1)
+		sorted = append(sorted, ctx.suffix...)
+		sorted = append(sorted, ctx.order[r])
+		sort.Ints(sorted)
+		ctx.store.insert(sorted, t.cnt[r])
+	}
+}
+
 // mfiStore accumulates maximal itemsets with posting-list subsumption
 // checks. Processing order (least-frequent header items first) guarantees
-// no stored set is ever subsumed by a later one.
+// no stored set is ever subsumed by a later one within a single worker.
 type mfiStore struct {
 	sets    []Itemset
 	posting map[int][]int // item -> indices into sets
@@ -69,108 +263,14 @@ func (s *mfiStore) insert(items []int, support int) {
 	}
 }
 
-// fpmax mines maximal itemsets from the tree under the given suffix.
-// Header items are processed deepest-first (descending structural rank) so
-// that an item's conditional tree only contains items processed after it —
-// the invariant the store's no-late-subsumption argument relies on.
-func fpmax(t *fpTree, suffix []int, minsup int, rank map[int]int, store *mfiStore) {
-	if len(t.counts) == 0 {
-		return
-	}
-	if path := t.singlePath(); path != nil {
-		// The only maximal candidate from a single path is the full
-		// frequent prefix of the path plus the suffix.
-		items := append([]int(nil), suffix...)
-		support := 0
-		for _, n := range path {
-			if n.count < minsup {
-				break
-			}
-			items = append(items, n.item)
-			support = n.count
-		}
-		if support > 0 {
-			sort.Ints(items)
-			store.insert(items, support)
-		}
-		return
-	}
-	// Head-union-tail pruning: if suffix plus every frequent item here is
-	// already covered, nothing new can emerge from this subtree.
-	all := append([]int(nil), suffix...)
-	for it, c := range t.counts {
-		if c >= minsup {
-			all = append(all, it)
-		}
-	}
-	sort.Ints(all)
-	if store.subsumes(all) {
-		return
-	}
-
-	// Process header items deepest-first (descending structural rank).
-	items := make([]int, 0, len(t.counts))
-	for it, c := range t.counts {
-		if c >= minsup {
-			items = append(items, it)
-		}
-	}
-	sort.Slice(items, func(i, j int) bool { return rank[items[i]] > rank[items[j]] })
-	for _, it := range items {
-		newSuffix := append(append([]int(nil), suffix...), it)
-		cond := conditionalTree(t, it)
-		pruned := pruneTree(cond, minsup)
-		if len(pruned.counts) == 0 {
-			sorted := append([]int(nil), newSuffix...)
-			sort.Ints(sorted)
-			store.insert(sorted, t.counts[it])
-			continue
-		}
-		// Subsumption pruning on head ∪ tail of the conditional tree.
-		cand := append([]int(nil), newSuffix...)
-		for ci := range pruned.counts {
-			cand = append(cand, ci)
-		}
-		sort.Ints(cand)
-		if store.subsumes(cand) {
-			continue
-		}
-		fpmax(pruned, newSuffix, minsup, rank, store)
-		// The bare newSuffix may itself be maximal when no extension
-		// found in the subtree covers it.
-		sorted := append([]int(nil), newSuffix...)
-		sort.Ints(sorted)
-		store.insert(sorted, t.counts[it])
-	}
-}
-
-// conditionalTree builds the conditional tree of an item from its prefix
-// paths.
-func conditionalTree(t *fpTree, item int) *fpTree {
-	cond := newTree()
-	for node := t.headers[item]; node != nil; node = node.nextHom {
-		var rev []int
-		for p := node.parent; p != nil && p.item >= 0; p = p.parent {
-			rev = append(rev, p.item)
-		}
-		if len(rev) == 0 {
-			continue
-		}
-		for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
-			rev[l], rev[r] = rev[r], rev[l]
-		}
-		cond.insert(rev, node.count)
-	}
-	return cond
-}
-
 // FilterMaximal removes every itemset that is a strict subset of another
 // itemset in the input. Input itemsets must have sorted Items.
 func FilterMaximal(sets []Itemset) []Itemset {
 	if len(sets) == 0 {
 		return nil
 	}
-	// Longest first: a set can only be subsumed by a longer one.
+	// Longest first: a set can only be subsumed by a longer (or equal,
+	// i.e. duplicate) one.
 	order := make([]int, len(sets))
 	for i := range order {
 		order[i] = i
@@ -242,77 +342,4 @@ func isSubset(a, b []int) bool {
 		}
 	}
 	return i == len(a)
-}
-
-// Index is an inverted index from item id to the (ascending) transaction
-// indices containing it, used to materialize itemset supports as blocks.
-type Index struct {
-	postings map[int][]int
-	numTxns  int
-}
-
-// BuildIndex indexes the miner's transactions.
-func (m *Miner) BuildIndex() *Index {
-	idx := &Index{postings: make(map[int][]int), numTxns: len(m.transactions)}
-	for ti, txn := range m.transactions {
-		for _, it := range txn {
-			idx.postings[it] = append(idx.postings[it], ti)
-		}
-	}
-	return idx
-}
-
-// SupportSet returns the ascending transaction indices containing every
-// item of the itemset. When mask is non-nil, only transactions with
-// mask[i]==true are returned.
-func (x *Index) SupportSet(items []int, mask []bool) []int {
-	if len(items) == 0 {
-		return nil
-	}
-	// Intersect postings, smallest first.
-	lists := make([][]int, len(items))
-	for i, it := range items {
-		lists[i] = x.postings[it]
-		if len(lists[i]) == 0 {
-			return nil
-		}
-	}
-	sort.Slice(lists, func(a, b int) bool { return len(lists[a]) < len(lists[b]) })
-	cur := lists[0]
-	for _, next := range lists[1:] {
-		cur = intersect(cur, next)
-		if len(cur) == 0 {
-			return nil
-		}
-	}
-	if mask == nil {
-		out := make([]int, len(cur))
-		copy(out, cur)
-		return out
-	}
-	out := cur[:0:0]
-	for _, ti := range cur {
-		if mask[ti] {
-			out = append(out, ti)
-		}
-	}
-	return out
-}
-
-func intersect(a, b []int) []int {
-	var out []int
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] == b[j]:
-			out = append(out, a[i])
-			i++
-			j++
-		case a[i] < b[j]:
-			i++
-		default:
-			j++
-		}
-	}
-	return out
 }

@@ -44,8 +44,10 @@ type Config struct {
 	PruneFraction float64
 	// MinScore is the initial block score threshold (minTh).
 	MinScore float64
-	// Workers bounds the goroutines used for block construction and
-	// scoring; 0 means GOMAXPROCS.
+	// Workers bounds the goroutines used across the blocking stage: the
+	// MFI miner's top-level fan-out and block construction/scoring alike.
+	// 0 means GOMAXPROCS, 1 runs the exact serial paths. Mined MFIs,
+	// blocks, and Result.Pairs are bit-identical for every worker count.
 	Workers int
 	// Metrics receives blocking-stage counters and timings (mfiblocks_*
 	// and fpgrowth_* families); nil falls back to telemetry.Default().

@@ -43,6 +43,7 @@ type Result struct {
 // IterationStats captures one minsup level of Algorithm 1.
 type IterationStats struct {
 	MinSup     int
+	Active     int     // uncovered records the MFIs were mined over
 	MFIs       int
 	Blocks     int     // blocks surviving all filters
 	CSPruned   int     // blocks dropped by the compact-set size cap
@@ -67,6 +68,7 @@ func Run(cfg Config, coll *record.Collection) (*Result, error) {
 	}
 	miner := fpgrowth.NewMiner(encoded)
 	miner.Metrics = reg
+	miner.Workers = cfg.Workers
 	if cfg.PruneFraction > 0 {
 		miner.Prune(dict.MostFrequent(cfg.PruneFraction))
 	}
@@ -84,6 +86,16 @@ func Run(cfg Config, coll *record.Collection) (*Result, error) {
 	// total comparisons a record may participate in. Keyed by the dense
 	// collection index, so a flat slice beats a map on this hot path.
 	spent := make([]int, n)
+	// Item frequencies over the still-uncovered records, maintained
+	// decrementally as records become covered: each minsup iteration hands
+	// the miner ready-made counts instead of recounting every item of
+	// every active transaction.
+	freq := make([]int, dict.Len())
+	for _, txn := range encoded {
+		for _, it := range txn {
+			freq[it]++
+		}
+	}
 
 	for minsup := cfg.MaxMinSup; minsup >= 2 && coveredCount < n; minsup-- {
 		iterStart := time.Now()
@@ -98,8 +110,8 @@ func Run(cfg Config, coll *record.Collection) (*Result, error) {
 			}
 		}
 
-		mfis := miner.MineMaximal(minsup, active)
-		blocks, csPruned := buildBlocks(&cfg, sc, index, nil, mfis, minsup)
+		mfis := miner.MineMaximalFreq(minsup, active, freq)
+		blocks, csPruned := buildBlocks(&cfg, sc, index, mfis, minsup)
 
 		// Enforce the sparse-neighborhood condition for this iteration:
 		// every record admits blocks best-first while its distinct
@@ -108,7 +120,7 @@ func Run(cfg Config, coll *record.Collection) (*Result, error) {
 		kept, iterTh, ngPruned := enforceNG(&cfg, blocks, spent)
 		minTh = math.Max(minTh, iterTh)
 
-		stats := IterationStats{MinSup: minsup, MFIs: len(mfis), MinTh: iterTh, CSPruned: csPruned, NGPruned: ngPruned}
+		stats := IterationStats{MinSup: minsup, Active: len(active), MFIs: len(mfis), MinTh: iterTh, CSPruned: csPruned, NGPruned: ngPruned}
 		for _, b := range kept {
 			stats.Blocks++
 			bi := len(res.Blocks)
@@ -129,6 +141,11 @@ func Run(cfg Config, coll *record.Collection) (*Result, error) {
 						if !res.Covered[m] {
 							res.Covered[m] = true
 							coveredCount++
+							// The record leaves the active set: retire its
+							// items from the incremental frequencies.
+							for _, it := range encoded[m] {
+								freq[it]--
+							}
 						}
 					}
 				}
@@ -158,7 +175,9 @@ func Run(cfg Config, coll *record.Collection) (*Result, error) {
 // buildBlocks materializes and scores the MFI supports in parallel,
 // dropping blocks that are too small (<2) or exceed the compact-set
 // cap. It also reports how many blocks the compact-set cap pruned.
-func buildBlocks(cfg *Config, sc *scorer, index *fpgrowth.Index, mask []bool, mfis []fpgrowth.Itemset, minsup int) ([]*Block, int) {
+// Every block is materialized over the whole database (the SupportSet
+// contract): coverage never masks a record out of a new block.
+func buildBlocks(cfg *Config, sc *scorer, index *fpgrowth.Index, mfis []fpgrowth.Itemset, minsup int) ([]*Block, int) {
 	maxSize := int(float64(minsup) * cfg.P)
 	out := make([]*Block, len(mfis))
 	var csPruned atomic.Int64
@@ -175,7 +194,7 @@ func buildBlocks(cfg *Config, sc *scorer, index *fpgrowth.Index, mask []bool, mf
 			defer wg.Done()
 			pruned := int64(0)
 			for k := lo; k < hi; k++ {
-				members := index.SupportSet(mfis[k].Items, mask)
+				members := index.SupportSet(mfis[k].Items)
 				if len(members) < 2 {
 					continue
 				}

@@ -45,6 +45,7 @@ type BlockingReport struct {
 // IterationReport is one minsup level of the MFIBlocks loop.
 type IterationReport struct {
 	MinSup     int     `json:"minsup"`
+	Active     int     `json:"active"` // uncovered records mined this iteration
 	MFIs       int     `json:"mfis"`
 	Blocks     int     `json:"blocks"`
 	CSPruned   int     `json:"cs_pruned"` // dropped by the compact-set size cap
