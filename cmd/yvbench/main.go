@@ -4,6 +4,7 @@
 //
 //	yvbench [-scale quick|full] [-list] [-report out.json] [-v] [exp ...]
 //	yvbench -bench-blocking out.json
+//	yvbench -bench-scoring out.json
 //
 // With no experiment ids, every experiment runs in paper order. Use -list
 // to enumerate the available ids. -report writes the accumulated
@@ -12,6 +13,10 @@
 // the experiments entirely and instead micro-benchmarks the blocking
 // engine hot paths (FP-tree build, maximal mining at several worker
 // counts, support-set probes), writing a machine-readable JSON report.
+// -bench-scoring does the same for the pair-scoring hot paths: the
+// similarity kernels (string tier and interned-ID tier), profile
+// construction, profiled extraction with the memo cache off and on, and
+// the end-to-end scoring stage at two worker counts.
 package main
 
 import (
@@ -30,12 +35,20 @@ func main() {
 	workers := flag.Int("workers", 0, "blocking and pair-scoring workers for pipeline experiments (0 = GOMAXPROCS, 1 = serial)")
 	reportPath := flag.String("report", "", "write the accumulated telemetry registry (JSON) to this file")
 	benchBlocking := flag.String("bench-blocking", "", "benchmark the blocking engine hot paths and write the JSON report to this file, then exit")
+	benchScoring := flag.String("bench-scoring", "", "benchmark the pair-scoring kernels and stage and write the JSON report to this file, then exit")
 	verbose := flag.Bool("v", false, "debug logging (per-stage and per-iteration telemetry)")
 	flag.Parse()
 	telemetry.SetVerbose(*verbose)
 
 	if *benchBlocking != "" {
 		if err := runBlockingBench(*benchBlocking); err != nil {
+			fmt.Fprintf(os.Stderr, "yvbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *benchScoring != "" {
+		if err := runScoringBench(*benchScoring); err != nil {
 			fmt.Fprintf(os.Stderr, "yvbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,195 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/adtree"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/features"
+	"repro/internal/mfiblocks"
+	"repro/internal/similarity"
+)
+
+// scoringBenchSchemaVersion identifies the BENCH_scoring.json layout;
+// bump on any field removal or rename.
+const scoringBenchSchemaVersion = 1
+
+// scoringBenchReport is the machine-readable scoring micro-benchmark
+// emitted by -bench-scoring: the similarity kernels (string tier and
+// interned-ID tier), profile construction, profiled pair extraction
+// with the memo cache off and on, and the end-to-end scoring stage at
+// two worker counts — measured over a dataset-generated workload so CI
+// can track ns/op and allocs/op across revisions.
+type scoringBenchReport struct {
+	SchemaVersion int                 `json:"schema_version"`
+	GoMaxProcs    int                 `json:"gomaxprocs"`
+	Records       int                 `json:"records"`
+	Candidates    int                 `json:"candidates"`
+	Benchmarks    []scoringBenchEntry `json:"benchmarks"`
+}
+
+type scoringBenchEntry struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// runScoringBench measures the pair-scoring hot paths over a scaled-down
+// Italy dataset and writes the JSON report to path. The scale keeps a
+// full sweep under a few seconds so CI can run it as a smoke test.
+func runScoringBench(path string) error {
+	cfg := dataset.ItalyConfig()
+	cfg.Persons = 600 // representative value skew, CI-fast
+	gen, err := dataset.Generate(cfg)
+	if err != nil {
+		return fmt.Errorf("bench-scoring: generate: %w", err)
+	}
+	pre, err := core.PreprocessWith(gen.Collection, gen.Gaz)
+	if err != nil {
+		return fmt.Errorf("bench-scoring: preprocess: %w", err)
+	}
+	blk, err := mfiblocks.Run(mfiblocks.NewConfig(), pre)
+	if err != nil {
+		return fmt.Errorf("bench-scoring: blocking: %w", err)
+	}
+	if len(blk.Pairs) == 0 {
+		return fmt.Errorf("bench-scoring: blocking produced no candidate pairs")
+	}
+	tagger := &dataset.Tagger{Gold: gen.Gold, Coll: gen.Collection, Rng: rand.New(rand.NewSource(99))}
+	tags := tagger.TagPairs(blk.Pairs)
+	model, err := core.TrainModel(adtree.NewTrainConfig(), tags, gen.Collection, gen.Gaz, core.OmitMaybe)
+	if err != nil {
+		return fmt.Errorf("bench-scoring: train: %w", err)
+	}
+
+	report := scoringBenchReport{
+		SchemaVersion: scoringBenchSchemaVersion,
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		Records:       pre.Len(),
+		Candidates:    len(blk.Pairs),
+	}
+	add := func(name string, r testing.BenchmarkResult) {
+		report.Benchmarks = append(report.Benchmarks, scoringBenchEntry{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+
+	// Kernel tier: representative surname-length inputs.
+	const ka, kb = "Capelluto", "Capeluto"
+	add("kernel/jaro", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			similarity.Jaro(ka, kb)
+		}
+	}))
+	add("kernel/jaro_winkler", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			similarity.JaroWinkler(ka, kb)
+		}
+	}))
+	add("kernel/levenshtein", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			similarity.Levenshtein(ka, kb)
+		}
+	}))
+	add("kernel/jaccard_qgrams_map", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			similarity.JaccardQGrams(ka, kb, 2)
+		}
+	}))
+	in := similarity.NewInterner()
+	ga := similarity.QGramIDs(in, ka, 2)
+	gb := similarity.QGramIDs(in, kb, 2)
+	add("kernel/jaccard_interned", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			similarity.JaccardSortedIDs(ga, gb)
+		}
+	}))
+
+	// Profile tier: build and compare profiles of two blocked records.
+	ra := pre.ByID(blk.Pairs[0].A)
+	rb := pre.ByID(blk.Pairs[0].B)
+	ex := features.NewExtractor(gen.Gaz)
+	add("profile", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ex.Profile(ra)
+		}
+	}))
+	pa, pb := ex.Profile(ra), ex.Profile(rb)
+	add("extract_profiled/memo=off", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ex.ExtractProfiled(pa, pb)
+		}
+	}))
+	exMemo := features.NewExtractor(gen.Gaz)
+	exMemo.Memo = features.NewPairMemo(0)
+	ma, mb := exMemo.Profile(ra), exMemo.Profile(rb)
+	exMemo.ExtractProfiled(ma, mb) // warm the memo: steady-state is all hits
+	add("extract_profiled/memo=on", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			exMemo.ExtractProfiled(ma, mb)
+		}
+	}))
+
+	// Stage tier: the full scoring pass over every candidate pair.
+	for _, workers := range []int{1, 8} {
+		opts := core.Options{Geo: gen.Gaz, Model: model, Classify: true, SameSrc: true, Workers: workers}
+		add(fmt.Sprintf("score_pairs/workers=%d", workers), testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if matches := core.ScoreCandidates(opts, pre, blk); len(matches) == 0 {
+					b.Fatal("no matches scored")
+				}
+			}
+		}))
+	}
+
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench-scoring: marshal: %w", err)
+	}
+	data = append(data, '\n')
+	// Self-validate: the emitted bytes must round-trip, and every entry
+	// must carry a positive iteration count — a malformed report should
+	// fail here, not in the CI step that consumes it.
+	var check scoringBenchReport
+	if err := json.Unmarshal(data, &check); err != nil {
+		return fmt.Errorf("bench-scoring: emitted JSON does not round-trip: %w", err)
+	}
+	if check.SchemaVersion != scoringBenchSchemaVersion || len(check.Benchmarks) == 0 {
+		return fmt.Errorf("bench-scoring: emitted report failed validation")
+	}
+	for _, e := range check.Benchmarks {
+		if e.Iterations <= 0 || e.NsPerOp <= 0 {
+			return fmt.Errorf("bench-scoring: benchmark %q has no measurements", e.Name)
+		}
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("bench-scoring: %w", err)
+	}
+	for _, e := range report.Benchmarks {
+		fmt.Printf("%-28s %12.1f ns/op %8d allocs/op %10d B/op\n",
+			e.Name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp)
+	}
+	fmt.Printf("scoring benchmark report written to %s\n", path)
+	return nil
+}

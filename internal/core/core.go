@@ -56,6 +56,14 @@ type Options struct {
 	// deterministic — identical Matches order, candidate pairs, and
 	// discard counters — for every worker count.
 	Workers int
+	// MemoSize bounds the scoring stage's value-pair similarity memo
+	// cache (entries): the dataset's value skew makes the same
+	// (surname, surname) or (city, city) kernel comparison recur across
+	// thousands of candidate pairs, and the memo computes each once per
+	// run. 0 selects features.DefaultMemoSize; negative disables the
+	// memo. The memo stores pure kernel results, so it never changes
+	// outputs — Matches are bit-identical with the memo on or off.
+	MemoSize int
 	// Metrics receives pipeline counters, timings, and distributions
 	// (core_*, mfiblocks_*, fpgrowth_* families); nil falls back to
 	// telemetry.Default().
@@ -230,7 +238,7 @@ func Run(opts Options, coll *record.Collection) (*Resolution, error) {
 		Blocking:   blk,
 		Collection: work,
 		model:      opts.Model,
-		profiles:   features.NewProfileCache(features.NewExtractor(opts.Geo)),
+		profiles:   features.NewProfileCache(newScoringExtractor(&opts)),
 		Report:     report,
 	}
 
@@ -261,6 +269,14 @@ func Run(opts Options, coll *record.Collection) (*Resolution, error) {
 	}
 	cs := res.profiles.Stats()
 	reg.Gauge("core_profiles_cached").Set(float64(cs.Size))
+	ex := res.profiles.Extractor()
+	if ms := ex.Memo.Stats(); ex.Memo != nil {
+		reg.Counter(telemetry.FamilyMemoHits).Add(ms.Hits)
+		reg.Counter(telemetry.FamilyMemoMisses).Add(ms.Misses)
+		reg.Counter(telemetry.FamilyMemoEvictions).Add(ms.Evictions)
+		reg.Gauge(telemetry.FamilyMemoEntries).Set(float64(ms.Entries))
+	}
+	reg.Gauge(telemetry.FamilyInternedStrings).Set(float64(ex.InternedStrings()))
 	telemetry.Log().Info("core run done",
 		"records", work.Len(), "candidates", len(blk.Pairs),
 		"matches", len(res.Matches), "workers", opts.workers(),
@@ -298,20 +314,37 @@ func blockingReport(blk *mfiblocks.Result) *telemetry.BlockingReport {
 	return br
 }
 
+// newScoringExtractor builds the extractor Run and ScoreCandidates
+// share: the canonical 48 features over opts.Geo, carrying the pair-
+// similarity memo unless MemoSize disables it.
+func newScoringExtractor(opts *Options) *features.Extractor {
+	ex := features.NewExtractor(opts.Geo)
+	if opts.MemoSize >= 0 {
+		ex.Memo = features.NewPairMemo(opts.MemoSize)
+	}
+	return ex
+}
+
 // scoringReport converts the scoring stage's outcome into its report
 // form.
 func scoringReport(st *scoreResult, blk *mfiblocks.Result, cache *features.ProfileCache, workers int) *telemetry.ScoringReport {
 	cs := cache.Stats()
+	ms := cache.Extractor().Memo.Stats()
 	sr := &telemetry.ScoringReport{
-		Candidates:     len(blk.Pairs),
-		SameSrcDropped: st.sameSrc,
-		ModelDropped:   st.byModel,
-		Matches:        len(st.matches),
-		Workers:        workers,
-		Chunks:         st.chunks,
-		ProfilesBuilt:  int(cs.Built),
-		ProfileHits:    cs.Hits,
-		ProfileMisses:  cs.Misses,
+		Candidates:      len(blk.Pairs),
+		SameSrcDropped:  st.sameSrc,
+		ModelDropped:    st.byModel,
+		Matches:         len(st.matches),
+		Workers:         workers,
+		Chunks:          st.chunks,
+		ProfilesBuilt:   int(cs.Built),
+		ProfileHits:     cs.Hits,
+		ProfileMisses:   cs.Misses,
+		MemoHits:        ms.Hits,
+		MemoMisses:      ms.Misses,
+		MemoEvictions:   ms.Evictions,
+		MemoEntries:     ms.Entries,
+		InternedStrings: cache.Extractor().InternedStrings(),
 	}
 	if st.scores != nil {
 		snap := st.scores.Snapshot()
@@ -424,6 +457,21 @@ func scorePairs(opts *Options, work *record.Collection, blk *mfiblocks.Result, c
 		total.byModel += chunks[i].byModel
 	}
 	return total
+}
+
+// ScoreCandidates runs the scoring stage alone — SameSrc filtering,
+// profiled feature extraction, model scoring, classification, and
+// ranking — over an existing blocking result, exactly as Run's scoring
+// stage does (including the memo cache controlled by opts.MemoSize).
+// Callers that re-block rarely but re-score often (threshold sweeps,
+// model comparisons, the yvbench -bench-scoring harness) use it to skip
+// the blocking stage. work must be the collection blk was produced
+// from.
+func ScoreCandidates(opts Options, work *record.Collection, blk *mfiblocks.Result) []RankedMatch {
+	cache := features.NewProfileCache(newScoringExtractor(&opts))
+	st := scorePairs(&opts, work, blk, cache, opts.workers(), opts.metrics())
+	sortMatches(st.matches)
+	return st.matches
 }
 
 // scoreSerial is the seed's serial scoring loop — one goroutine,

@@ -13,13 +13,29 @@ type Extractor struct {
 	// nil leaves them missing.
 	Geo similarity.GeoDistancer
 
+	// Memo, when set, memoizes the symmetric value-pair similarities of
+	// the profiled path (Jaro–Winkler and q-gram Jaccard over lowered
+	// name values) across record pairs. It never changes outputs — a
+	// hit returns exactly the kernel's result — so it may be shared by
+	// concurrent workers. Set it before the first ExtractProfiled call.
+	Memo *PairMemo
+
 	defs []Def
+
+	// interner backs the profiled path's q-gram and name-set IDs.
+	// Profiles are only comparable when built by the same extractor —
+	// IDs from different interners are unrelated.
+	interner *similarity.Interner
 }
 
 // NewExtractor returns an extractor over the canonical 48 features.
 func NewExtractor(geo similarity.GeoDistancer) *Extractor {
-	return &Extractor{Geo: geo, defs: Defs()}
+	return &Extractor{Geo: geo, defs: Defs(), interner: similarity.NewInterner()}
 }
+
+// InternedStrings returns the number of distinct strings (q-grams and
+// lowered name values) the extractor's profiles have interned so far.
+func (e *Extractor) InternedStrings() int { return e.interner.Len() }
 
 // Defs returns the extractor's feature definitions.
 func (e *Extractor) Defs() []Def { return e.defs }
@@ -180,6 +196,34 @@ func compareLowerSets(setA, setB map[string]struct{}) string {
 	}
 	switch {
 	case inter == len(setA) && inter == len(setB):
+		return SameYes
+	case inter > 0:
+		return SamePartial
+	default:
+		return SameNo
+	}
+}
+
+// compareIDSets is compareLowerSets over sorted interned-ID sets — the
+// representation profiles snapshot per record. Interning is injective,
+// so the intersection count (and hence the trinary outcome) is exactly
+// the string-set one.
+func compareIDSets(a, b []uint32) string {
+	inter, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			inter++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	switch {
+	case inter == len(a) && inter == len(b):
 		return SameYes
 	case inter > 0:
 		return SamePartial

@@ -42,13 +42,16 @@ type Profile struct {
 	gender, profession firstValue
 }
 
-// nameProfile caches one name attribute's values: the lowered strings (for
-// Jaro-Winkler), the distinct lowered set (for sameXName), and the 2-gram
-// set of each value in insertion order (for XNdist).
+// nameProfile caches one name attribute's values: the lowered strings
+// (for Jaro-Winkler and memo keys), the distinct lowered set as sorted
+// interned IDs (for sameXName), and each value's padded 2-gram set as
+// sorted interned IDs in insertion order (for XNdist). The ID slices are
+// backed by the owning extractor's interner, so pair-time set operations
+// are integer merges with no map probes or string hashing.
 type nameProfile struct {
-	lower []string
-	set   map[string]struct{}
-	grams []map[string]struct{}
+	lower   []string
+	setIDs  []uint32
+	gramIDs [][]uint32
 }
 
 type dateComponent struct {
@@ -80,13 +83,13 @@ func (e *Extractor) Profile(r *record.Record) *Profile {
 			continue
 		}
 		np := nameProfile{
-			lower: make([]string, len(vs)),
-			set:   lowerSet(vs),
-			grams: make([]map[string]struct{}, len(vs)),
+			lower:   make([]string, len(vs)),
+			setIDs:  similarity.InternSet(e.interner, vs),
+			gramIDs: make([][]uint32, len(vs)),
 		}
 		for j, v := range vs {
 			np.lower[j] = strings.ToLower(v)
-			np.grams[j] = similarity.QGrams(v, 2)
+			np.gramIDs[j] = similarity.QGramIDs(e.interner, v, 2)
 		}
 		p.names[i] = np
 	}
@@ -142,18 +145,19 @@ func (e *Extractor) ExtractProfiled(a, b *Profile) Vector {
 	v := make(Vector, len(e.defs))
 	id := 0
 
-	// sameXName over the cached lowered sets.
+	// sameXName over the cached interned lowered sets.
 	for i := range nameAttrs {
 		na, nb := &a.names[i], &b.names[i]
 		if len(na.lower) == 0 || len(nb.lower) == 0 {
 			id++
 			continue
 		}
-		v[id] = Value{Present: true, Cat: compareLowerSets(na.set, nb.set)}
+		v[id] = Value{Present: true, Cat: compareIDSets(na.setIDs, nb.setIDs)}
 		id++
 	}
 
-	// XNdist: max q-gram Jaccard over the cached gram sets.
+	// XNdist: max q-gram Jaccard over the cached interned gram sets,
+	// with repeated value pairs served from the memo.
 	for i := range nameAttrs {
 		na, nb := &a.names[i], &b.names[i]
 		if len(na.lower) == 0 || len(nb.lower) == 0 {
@@ -161,9 +165,9 @@ func (e *Extractor) ExtractProfiled(a, b *Profile) Vector {
 			continue
 		}
 		best := 0.0
-		for _, ga := range na.grams {
-			for _, gb := range nb.grams {
-				if s := similarity.JaccardSets(ga, gb); s > best {
+		for ja := range na.gramIDs {
+			for jb := range nb.gramIDs {
+				if s := e.gramSim(na, nb, ja, jb); s > best {
 					best = s
 				}
 			}
@@ -172,7 +176,8 @@ func (e *Extractor) ExtractProfiled(a, b *Profile) Vector {
 		id++
 	}
 
-	// XNjw: max Jaro-Winkler over the cached lowered values.
+	// XNjw: max Jaro-Winkler over the cached lowered values, memoized
+	// per value pair.
 	for i := range nameAttrs {
 		na, nb := &a.names[i], &b.names[i]
 		if len(na.lower) == 0 || len(nb.lower) == 0 {
@@ -182,7 +187,7 @@ func (e *Extractor) ExtractProfiled(a, b *Profile) Vector {
 		best := 0.0
 		for _, x := range na.lower {
 			for _, y := range nb.lower {
-				if s := similarity.JaroWinkler(x, y); s > best {
+				if s := e.jwSim(x, y); s > best {
 					best = s
 				}
 			}
@@ -252,6 +257,37 @@ func (e *Extractor) ExtractProfiled(a, b *Profile) Vector {
 	}
 	id++
 
+	return v
+}
+
+// gramSim returns the q-gram Jaccard of value ja of na against value jb
+// of nb — a merge over the interned sorted gram IDs, memoized on the
+// lowered value strings. QGramIDs lowercases before gramming, so the
+// lowered value is a faithful memo key for the gram set.
+func (e *Extractor) gramSim(na, nb *nameProfile, ja, jb int) float64 {
+	if e.Memo == nil {
+		return similarity.JaccardSortedIDs(na.gramIDs[ja], nb.gramIDs[jb])
+	}
+	x, y := na.lower[ja], nb.lower[jb]
+	if v, ok := e.Memo.get(memoGram, x, y); ok {
+		return v
+	}
+	v := similarity.JaccardSortedIDs(na.gramIDs[ja], nb.gramIDs[jb])
+	e.Memo.put(memoGram, x, y, v)
+	return v
+}
+
+// jwSim returns the Jaro–Winkler similarity of two lowered values,
+// memoized when the extractor carries a memo.
+func (e *Extractor) jwSim(x, y string) float64 {
+	if e.Memo == nil {
+		return similarity.JaroWinkler(x, y)
+	}
+	if v, ok := e.Memo.get(memoJW, x, y); ok {
+		return v
+	}
+	v := similarity.JaroWinkler(x, y)
+	e.Memo.put(memoJW, x, y, v)
 	return v
 }
 

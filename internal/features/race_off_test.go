@@ -1,0 +1,8 @@
+//go:build !race
+
+package features
+
+// raceEnabled reports whether the race detector is active; the strict
+// allocation guards skip under it (sync.Pool intentionally drops items
+// when racing, so AllocsPerRun is not meaningful there).
+const raceEnabled = false

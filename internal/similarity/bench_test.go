@@ -34,6 +34,28 @@ func BenchmarkJaccardQGrams(b *testing.B) {
 	}
 }
 
+// BenchmarkJaccardInterned measures the steady-state scoring path: gram
+// IDs already interned per record, pair time is a merge intersection.
+func BenchmarkJaccardInterned(b *testing.B) {
+	in := NewInterner()
+	ga := QGramIDs(in, "Ottolenghi", 2)
+	gb := QGramIDs(in, "Ottolengi", 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		JaccardSortedIDs(ga, gb)
+	}
+}
+
+// BenchmarkQGramIDs measures per-record gram interning (profile build
+// time, paid once per record rather than once per pair).
+func BenchmarkQGramIDs(b *testing.B) {
+	in := NewInterner()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		QGramIDs(in, "Ottolenghi", 2)
+	}
+}
+
 func BenchmarkItemSimGeo(b *testing.B) {
 	s := ItemSim{Geo: fakeGeo{km: 9}}
 	x := record.Item{Type: record.BirthCity, Value: "Torino"}

@@ -2,30 +2,142 @@
 // measures the paper's pipeline relies on: Jaro and Jaro–Winkler, Jaccard
 // over tokens and q-grams, Levenshtein, normalized birth-date component
 // distances, and the expert item similarity of Eq. 1.
+//
+// The string kernels run on two tiers. The common path — pure-ASCII
+// inputs, which is what the pipeline's lowered name and place values
+// are — indexes the strings byte-wise and borrows its working memory
+// from a pooled scratch, so steady-state calls allocate nothing. Any
+// non-ASCII byte falls back to the rune-correct reference path, which
+// produces bit-identical results for ASCII inputs (the fuzz suite in
+// fuzz_test.go pins the two tiers against each other).
 package similarity
 
 import (
+	"slices"
 	"sort"
 	"strings"
+	"sync"
+	"unicode/utf8"
 )
+
+// isASCII reports whether s contains only single-byte (ASCII) runes, in
+// which case byte indexing and rune indexing coincide.
+func isASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= utf8.RuneSelf {
+			return false
+		}
+	}
+	return true
+}
+
+// kernelScratch is the pooled working memory of the string kernels: the
+// Jaro match flags and the Levenshtein rows. One scratch serves one call
+// at a time; the pool keeps steady-state kernel calls allocation-free.
+type kernelScratch struct {
+	flags []bool
+	rows  []int
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(kernelScratch) }}
+
+// matchFlags returns two zeroed bool slices of lengths la and lb backed
+// by the scratch's shared buffer.
+func (sc *kernelScratch) matchFlags(la, lb int) ([]bool, []bool) {
+	n := la + lb
+	if cap(sc.flags) < n {
+		sc.flags = make([]bool, n)
+	}
+	buf := sc.flags[:n]
+	clear(buf)
+	return buf[:la:la], buf[la:]
+}
+
+// intRows returns two int slices of length n backed by the scratch's
+// shared buffer. Contents are unspecified; callers initialize them.
+func (sc *kernelScratch) intRows(n int) ([]int, []int) {
+	if cap(sc.rows) < 2*n {
+		sc.rows = make([]int, 2*n)
+	}
+	buf := sc.rows[:2*n]
+	return buf[:n:n], buf[n:]
+}
+
+// jaroWindow is the Jaro matching window for rune counts la, lb ≥ 1:
+// max(la,lb)/2 - 1, floored at 0. The floor falls out of the arithmetic
+// (Go integer division truncates toward zero, so the only negative
+// case — two single-rune strings, (1-2)/2 — already yields 0) instead
+// of a clamp branch.
+func jaroWindow(la, lb int) int {
+	return (max(la, lb) - 2) / 2
+}
 
 // Jaro returns the Jaro similarity of two strings in [0,1]. Empty strings
 // are similar (1) to each other and dissimilar (0) to non-empty strings.
 func Jaro(a, b string) float64 {
-	ra, rb := []rune(a), []rune(b)
-	la, lb := len(ra), len(rb)
-	if la == 0 && lb == 0 {
+	if len(a) == 0 && len(b) == 0 {
 		return 1
 	}
-	if la == 0 || lb == 0 {
+	if len(a) == 0 || len(b) == 0 {
 		return 0
 	}
-	window := max(la, lb)/2 - 1
-	if window < 0 {
-		window = 0
+	if isASCII(a) && isASCII(b) {
+		return jaroASCII(a, b)
 	}
-	matchA := make([]bool, la)
-	matchB := make([]bool, lb)
+	return jaroRunes([]rune(a), []rune(b))
+}
+
+// jaroASCII is the byte-indexed fast path; a and b are non-empty ASCII.
+func jaroASCII(a, b string) float64 {
+	la, lb := len(a), len(b)
+	sc := scratchPool.Get().(*kernelScratch)
+	matchA, matchB := sc.matchFlags(la, lb)
+	window := jaroWindow(la, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := max(0, i-window)
+		hi := min(lb-1, i+window)
+		for j := lo; j <= hi; j++ {
+			if !matchB[j] && a[i] == b[j] {
+				matchA[i], matchB[j] = true, true
+				matches++
+				break
+			}
+		}
+	}
+	if matches == 0 {
+		scratchPool.Put(sc)
+		return 0
+	}
+	// Count transpositions between the matched subsequences.
+	transpositions := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !matchA[i] {
+			continue
+		}
+		for !matchB[j] {
+			j++
+		}
+		if a[i] != b[j] {
+			transpositions++
+		}
+		j++
+	}
+	scratchPool.Put(sc)
+	m := float64(matches)
+	t := float64(transpositions) / 2
+	return (m/float64(la) + m/float64(lb) + (m-t)/m) / 3
+}
+
+// jaroRunes is the rune-correct reference path; ra and rb are non-empty.
+// The arithmetic mirrors jaroASCII step for step, so the two tiers agree
+// bit for bit on ASCII inputs.
+func jaroRunes(ra, rb []rune) float64 {
+	la, lb := len(ra), len(rb)
+	sc := scratchPool.Get().(*kernelScratch)
+	matchA, matchB := sc.matchFlags(la, lb)
+	window := jaroWindow(la, lb)
 	matches := 0
 	for i := 0; i < la; i++ {
 		lo := max(0, i-window)
@@ -39,9 +151,9 @@ func Jaro(a, b string) float64 {
 		}
 	}
 	if matches == 0 {
+		scratchPool.Put(sc)
 		return 0
 	}
-	// Count transpositions between the matched subsequences.
 	transpositions := 0
 	j := 0
 	for i := 0; i < la; i++ {
@@ -56,6 +168,7 @@ func Jaro(a, b string) float64 {
 		}
 		j++
 	}
+	scratchPool.Put(sc)
 	m := float64(matches)
 	t := float64(transpositions) / 2
 	return (m/float64(la) + m/float64(lb) + (m-t)/m) / 3
@@ -69,40 +182,88 @@ func JaroWinkler(a, b string) float64 {
 		prefixCap   = 4
 	)
 	j := Jaro(a, b)
-	ra, rb := []rune(a), []rune(b)
 	l := 0
-	for l < len(ra) && l < len(rb) && l < prefixCap && ra[l] == rb[l] {
-		l++
+	if isASCII(a) && isASCII(b) {
+		for l < len(a) && l < len(b) && l < prefixCap && a[l] == b[l] {
+			l++
+		}
+	} else {
+		ra, rb := []rune(a), []rune(b)
+		for l < len(ra) && l < len(rb) && l < prefixCap && ra[l] == rb[l] {
+			l++
+		}
 	}
 	return j + float64(l)*prefixScale*(1-j)
 }
 
-// Levenshtein returns the edit distance between two strings.
+// Levenshtein returns the edit distance between two strings (in runes).
 func Levenshtein(a, b string) int {
-	ra, rb := []rune(a), []rune(b)
-	if len(ra) == 0 {
-		return len(rb)
+	if isASCII(a) && isASCII(b) {
+		return levenshteinASCII(a, b)
 	}
-	if len(rb) == 0 {
-		return len(ra)
+	return levenshteinRunes([]rune(a), []rune(b))
+}
+
+// levenshteinASCII is the byte-indexed fast path over pooled rows.
+func levenshteinASCII(a, b string) int {
+	la, lb := len(a), len(b)
+	if la == 0 {
+		return lb
 	}
-	prev := make([]int, len(rb)+1)
-	cur := make([]int, len(rb)+1)
+	if lb == 0 {
+		return la
+	}
+	sc := scratchPool.Get().(*kernelScratch)
+	prev, cur := sc.intRows(lb + 1)
 	for j := range prev {
 		prev[j] = j
 	}
-	for i := 1; i <= len(ra); i++ {
+	for i := 1; i <= la; i++ {
 		cur[0] = i
-		for j := 1; j <= len(rb); j++ {
+		ca := a[i-1]
+		for j := 1; j <= lb; j++ {
 			cost := 1
-			if ra[i-1] == rb[j-1] {
+			if ca == b[j-1] {
 				cost = 0
 			}
-			cur[j] = min(min(cur[j-1]+1, prev[j]+1), prev[j-1]+cost)
+			cur[j] = min(cur[j-1]+1, prev[j]+1, prev[j-1]+cost)
 		}
 		prev, cur = cur, prev
 	}
-	return prev[len(rb)]
+	d := prev[lb]
+	scratchPool.Put(sc)
+	return d
+}
+
+// levenshteinRunes is the rune-correct reference path.
+func levenshteinRunes(ra, rb []rune) int {
+	la, lb := len(ra), len(rb)
+	if la == 0 {
+		return lb
+	}
+	if lb == 0 {
+		return la
+	}
+	sc := scratchPool.Get().(*kernelScratch)
+	prev, cur := sc.intRows(lb + 1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		ca := ra[i-1]
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if ca == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min(cur[j-1]+1, prev[j]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	d := prev[lb]
+	scratchPool.Put(sc)
+	return d
 }
 
 // JaccardTokens returns the Jaccard coefficient of the whitespace-token
@@ -119,14 +280,20 @@ func tokenSet(s string) map[string]struct{} {
 	return set
 }
 
+// paddedLower returns s lowercased and padded with q-1 '#' on both sides —
+// the shared input of every q-gram representation in this package.
+func paddedLower(s string, q int) string {
+	pad := strings.Repeat("#", q-1)
+	return pad + strings.ToLower(s) + pad
+}
+
 // QGrams returns the padded q-gram multiset of a string as a set of
 // distinct grams (padding with q-1 '#' on both sides, lowercased).
 func QGrams(s string, q int) map[string]struct{} {
 	if q < 1 {
 		q = 1
 	}
-	pad := strings.Repeat("#", q-1)
-	padded := pad + strings.ToLower(s) + pad
+	padded := paddedLower(s, q)
 	rs := []rune(padded)
 	set := make(map[string]struct{})
 	for i := 0; i+q <= len(rs); i++ {
@@ -143,8 +310,8 @@ func JaccardQGrams(a, b string, q int) float64 {
 
 // JaccardSets returns the Jaccard coefficient of two precomputed string
 // sets. JaccardSets(QGrams(a, q), QGrams(b, q)) equals
-// JaccardQGrams(a, b, q) exactly — the profile cache in internal/features
-// relies on this to snapshot q-gram sets once per record.
+// JaccardQGrams(a, b, q) exactly — the map-based reference the interned
+// representation (Interner/QGramIDs/JaccardSortedIDs) is fuzzed against.
 func JaccardSets(a, b map[string]struct{}) float64 {
 	return jaccard(a, b)
 }
@@ -190,14 +357,23 @@ func JaccardIntSets(a, b []int) float64 {
 	return float64(inter) / float64(len(a)+len(b)-inter)
 }
 
-// QGramsList returns the distinct padded q-grams of a string as an
-// ordered slice (same grams as QGrams).
+// QGramsList returns the distinct padded q-grams of a string as a sorted
+// slice — the same grams as QGrams, derived directly (slice, sort,
+// compact) instead of through a throwaway map.
 func QGramsList(s string, q int) []string {
-	set := QGrams(s, q)
-	out := make([]string, 0, len(set))
-	for g := range set {
-		out = append(out, g)
+	if q < 1 {
+		q = 1
+	}
+	padded := paddedLower(s, q)
+	rs := []rune(padded)
+	n := len(rs) - q + 1
+	if n <= 0 {
+		return []string{}
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, string(rs[i:i+q]))
 	}
 	sort.Strings(out)
-	return out
+	return slices.Compact(out)
 }

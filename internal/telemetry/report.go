@@ -67,6 +67,17 @@ type ScoringReport struct {
 	ProfilesBuilt  int   `json:"profiles_built"`
 	ProfileHits    int64 `json:"profile_hits"`
 	ProfileMisses  int64 `json:"profile_misses"`
+	// Memo* describe the value-pair similarity memo cache (zero when the
+	// memo is disabled, or at Workers=1 where the serial seed path
+	// bypasses profiled extraction entirely). The memo stores pure
+	// kernel results, so these are efficiency signals only.
+	MemoHits      int64 `json:"memo_hits"`
+	MemoMisses    int64 `json:"memo_misses"`
+	MemoEvictions int64 `json:"memo_evictions"`
+	MemoEntries   int   `json:"memo_entries"`
+	// InternedStrings counts the distinct q-grams and lowered name
+	// values the extractor's profiles interned.
+	InternedStrings int `json:"interned_strings"`
 	// Scores is the distribution of ranked-match scores (ScoreBuckets
 	// layout). Omitted when no pairs were scored.
 	Scores *HistogramSnapshot `json:"scores,omitempty"`
