@@ -31,6 +31,7 @@ type blockingBenchReport struct {
 
 type blockingBenchEntry struct {
 	Name        string  `json:"name"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
 	Iterations  int     `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
@@ -61,9 +62,11 @@ func runBlockingBench(path string) error {
 		Records:       coll.Len(),
 		Items:         dict.Len(),
 	}
-	add := func(name string, r testing.BenchmarkResult) {
+	add := func(name string, workers int, fn func(*testing.B)) {
+		r, procs := benchAt(workers, fn)
 		report.Benchmarks = append(report.Benchmarks, blockingBenchEntry{
 			Name:        name,
+			GoMaxProcs:  procs,
 			Iterations:  r.N,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp: r.AllocsPerOp(),
@@ -72,39 +75,39 @@ func runBlockingBench(path string) error {
 	}
 
 	miner := fpgrowth.NewMiner(encoded)
-	add("tree_build", testing.Benchmark(func(b *testing.B) {
+	add("tree_build", 1, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			miner.TreeStats(minsup, nil)
 		}
-	}))
+	})
 	for _, workers := range []int{1, 8} {
 		m := fpgrowth.NewMiner(encoded)
 		m.Workers = workers
-		add(fmt.Sprintf("mine_maximal/workers=%d", workers), testing.Benchmark(func(b *testing.B) {
+		add(fmt.Sprintf("mine_maximal/workers=%d", workers), workers, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				m.MineMaximal(minsup, nil)
 			}
-		}))
+		})
 	}
 	index := miner.BuildIndex()
 	mfis := miner.MineMaximal(minsup, nil)
 	if len(mfis) == 0 {
 		return fmt.Errorf("bench-blocking: dataset mined no MFIs at minsup=%d", minsup)
 	}
-	add("support_set", testing.Benchmark(func(b *testing.B) {
+	add("support_set", 1, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			index.SupportSet(mfis[i%len(mfis)].Items)
 		}
-	}))
-	add("build_index", testing.Benchmark(func(b *testing.B) {
+	})
+	add("build_index", 1, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			miner.BuildIndex()
 		}
-	}))
+	})
 
 	data, err := json.MarshalIndent(&report, "", "  ")
 	if err != nil {

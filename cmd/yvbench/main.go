@@ -5,6 +5,7 @@
 //	yvbench [-scale quick|full] [-list] [-report out.json] [-v] [exp ...]
 //	yvbench -bench-blocking out.json
 //	yvbench -bench-scoring out.json
+//	yvbench -bench-e2e out.json [-e2e-records 100000,1000000] [-e2e-shards n] [-e2e-workers n] [-e2e-max-rss-mb n]
 //
 // With no experiment ids, every experiment runs in paper order. Use -list
 // to enumerate the available ids. -report writes the accumulated
@@ -16,7 +17,11 @@
 // -bench-scoring does the same for the pair-scoring hot paths: the
 // similarity kernels (string tier and interned-ID tier), profile
 // construction, profiled extraction with the memo cache off and on, and
-// the end-to-end scoring stage at two worker counts.
+// the end-to-end scoring stage at two worker counts. -bench-e2e measures
+// the full streaming pipeline (windowed .yvst ingest, signature-sharded
+// blocking, disk-spilled scoring, ranking) at each -e2e-records corpus
+// size, re-execing itself per row so peak RSS is the pipeline's own
+// high-water mark; -e2e-max-rss-mb turns the report into a CI gate.
 package main
 
 import (
@@ -36,10 +41,30 @@ func main() {
 	reportPath := flag.String("report", "", "write the accumulated telemetry registry (JSON) to this file")
 	benchBlocking := flag.String("bench-blocking", "", "benchmark the blocking engine hot paths and write the JSON report to this file, then exit")
 	benchScoring := flag.String("bench-scoring", "", "benchmark the pair-scoring kernels and stage and write the JSON report to this file, then exit")
+	benchE2E := flag.String("bench-e2e", "", "benchmark the streaming pipeline end-to-end and write the JSON report to this file, then exit")
+	e2eRecords := flag.String("e2e-records", "100000,1000000", "comma-separated corpus sizes (records) for -bench-e2e")
+	e2eShards := flag.Int("e2e-shards", 8, "blocking shards for -bench-e2e rows")
+	e2eWorkers := flag.Int("e2e-workers", 8, "pipeline workers for -bench-e2e rows")
+	e2eMaxRSSMB := flag.Int("e2e-max-rss-mb", 0, "fail -bench-e2e if any row's peak RSS exceeds this many MiB (0 = no ceiling)")
+	e2eChild := flag.String("e2e-child", "", "internal: stream this .yvst through the pipeline, print JSON counters, and exit")
 	verbose := flag.Bool("v", false, "debug logging (per-stage and per-iteration telemetry)")
 	flag.Parse()
 	telemetry.SetVerbose(*verbose)
 
+	if *e2eChild != "" {
+		if err := runE2EChild(*e2eChild, *e2eShards, *e2eWorkers); err != nil {
+			fmt.Fprintf(os.Stderr, "yvbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *benchE2E != "" {
+		if err := runE2EBench(*benchE2E, *e2eRecords, *e2eShards, *e2eWorkers, *e2eMaxRSSMB); err != nil {
+			fmt.Fprintf(os.Stderr, "yvbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *benchBlocking != "" {
 		if err := runBlockingBench(*benchBlocking); err != nil {
 			fmt.Fprintf(os.Stderr, "yvbench: %v\n", err)

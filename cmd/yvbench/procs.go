@@ -1,0 +1,26 @@
+package main
+
+import (
+	"runtime"
+	"testing"
+)
+
+// benchAt runs one benchmark with the Go scheduler widened to at least
+// workers Ps and reports the GOMAXPROCS it actually ran under. On
+// machines with fewer cores than the requested worker count (CI
+// containers are routinely one or two cores), the process default
+// silently serializes "parallel" variants: the report would claim
+// workers=8 while the scheduler ran everything on one P, and the
+// report-level gomaxprocs field contradicted the variant names. Widening
+// for the measurement keeps the variant honest — goroutines genuinely
+// interleave — and the per-entry gomaxprocs records what really ran.
+// The previous setting is restored before returning.
+func benchAt(workers int, fn func(*testing.B)) (testing.BenchmarkResult, int) {
+	procs := runtime.GOMAXPROCS(0)
+	if workers > procs {
+		prev := runtime.GOMAXPROCS(workers)
+		defer runtime.GOMAXPROCS(prev)
+		procs = workers
+	}
+	return testing.Benchmark(fn), procs
+}

@@ -36,6 +36,7 @@ type scoringBenchReport struct {
 
 type scoringBenchEntry struct {
 	Name        string  `json:"name"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
 	Iterations  int     `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
@@ -76,9 +77,11 @@ func runScoringBench(path string) error {
 		Records:       pre.Len(),
 		Candidates:    len(blk.Pairs),
 	}
-	add := func(name string, r testing.BenchmarkResult) {
+	add := func(name string, workers int, fn func(*testing.B)) {
+		r, procs := benchAt(workers, fn)
 		report.Benchmarks = append(report.Benchmarks, scoringBenchEntry{
 			Name:        name,
+			GoMaxProcs:  procs,
 			Iterations:  r.N,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp: r.AllocsPerOp(),
@@ -88,79 +91,79 @@ func runScoringBench(path string) error {
 
 	// Kernel tier: representative surname-length inputs.
 	const ka, kb = "Capelluto", "Capeluto"
-	add("kernel/jaro", testing.Benchmark(func(b *testing.B) {
+	add("kernel/jaro", 1, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			similarity.Jaro(ka, kb)
 		}
-	}))
-	add("kernel/jaro_winkler", testing.Benchmark(func(b *testing.B) {
+	})
+	add("kernel/jaro_winkler", 1, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			similarity.JaroWinkler(ka, kb)
 		}
-	}))
-	add("kernel/levenshtein", testing.Benchmark(func(b *testing.B) {
+	})
+	add("kernel/levenshtein", 1, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			similarity.Levenshtein(ka, kb)
 		}
-	}))
-	add("kernel/jaccard_qgrams_map", testing.Benchmark(func(b *testing.B) {
+	})
+	add("kernel/jaccard_qgrams_map", 1, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			similarity.JaccardQGrams(ka, kb, 2)
 		}
-	}))
+	})
 	in := similarity.NewInterner()
 	ga := similarity.QGramIDs(in, ka, 2)
 	gb := similarity.QGramIDs(in, kb, 2)
-	add("kernel/jaccard_interned", testing.Benchmark(func(b *testing.B) {
+	add("kernel/jaccard_interned", 1, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			similarity.JaccardSortedIDs(ga, gb)
 		}
-	}))
+	})
 
 	// Profile tier: build and compare profiles of two blocked records.
 	ra := pre.ByID(blk.Pairs[0].A)
 	rb := pre.ByID(blk.Pairs[0].B)
 	ex := features.NewExtractor(gen.Gaz)
-	add("profile", testing.Benchmark(func(b *testing.B) {
+	add("profile", 1, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			ex.Profile(ra)
 		}
-	}))
+	})
 	pa, pb := ex.Profile(ra), ex.Profile(rb)
-	add("extract_profiled/memo=off", testing.Benchmark(func(b *testing.B) {
+	add("extract_profiled/memo=off", 1, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			ex.ExtractProfiled(pa, pb)
 		}
-	}))
+	})
 	exMemo := features.NewExtractor(gen.Gaz)
 	exMemo.Memo = features.NewPairMemo(0)
 	ma, mb := exMemo.Profile(ra), exMemo.Profile(rb)
 	exMemo.ExtractProfiled(ma, mb) // warm the memo: steady-state is all hits
-	add("extract_profiled/memo=on", testing.Benchmark(func(b *testing.B) {
+	add("extract_profiled/memo=on", 1, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			exMemo.ExtractProfiled(ma, mb)
 		}
-	}))
+	})
 
 	// Stage tier: the full scoring pass over every candidate pair.
 	for _, workers := range []int{1, 8} {
 		opts := core.Options{Geo: gen.Gaz, Model: model, Classify: true, SameSrc: true, Workers: workers}
-		add(fmt.Sprintf("score_pairs/workers=%d", workers), testing.Benchmark(func(b *testing.B) {
+		add(fmt.Sprintf("score_pairs/workers=%d", workers), workers, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if matches := core.ScoreCandidates(opts, pre, blk); len(matches) == 0 {
 					b.Fatal("no matches scored")
 				}
 			}
-		}))
+		})
 	}
 
 	data, err := json.MarshalIndent(&report, "", "  ")

@@ -7,6 +7,15 @@
 //
 //	yver -in records.jsonl [-ng 3.5] [-maxminsup 5] [-certainty 0.3]
 //	     [-samesrc] [-top 20] [-clusters] [-report out.json] [-v]
+//	     [-shards n] [-spill-pairs n] [-stream]
+//
+// -shards partitions block materialization by MFI-key signature and
+// -spill-pairs bounds the in-memory candidate window (overflow merges
+// through sorted disk runs); both leave the ranked output bit-identical.
+// -stream reads a .yvst store through the windowed reader and resolves
+// it with the bounded-memory streaming pipeline — records are encoded as
+// they arrive and dropped unless a flag (model, search, clusters) needs
+// their values.
 package main
 
 import (
@@ -36,6 +45,9 @@ func main() {
 	last := flag.String("last", "", "search: last name")
 	modelPath := flag.String("model", "", "trained ADTree model (from yvtrain); enables classification")
 	workers := flag.Int("workers", 0, "blocking and pair-scoring workers (0 = GOMAXPROCS, 1 = serial)")
+	shards := flag.Int("shards", 0, "signature-partitioned blocking shards (0 or 1 = monolithic; output is bit-identical)")
+	spillPairs := flag.Int("spill-pairs", 0, "spill candidate pairs to disk past this many in memory (0 = unbounded; -stream defaults to a bounded cap)")
+	stream := flag.Bool("stream", false, "stream a .yvst store through the bounded-memory pipeline instead of loading the whole corpus")
 	reportPath := flag.String("report", "", "write the run's telemetry report (JSON) to this file")
 	verbose := flag.Bool("v", false, "debug logging (per-stage and per-iteration telemetry)")
 	flag.Parse()
@@ -45,18 +57,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "yver: -in is required")
 		os.Exit(2)
 	}
-	records, err := loadRecords(*in)
-	if err != nil {
-		fatal(err)
-	}
-	coll, err := record.NewCollection(records)
-	if err != nil {
-		fatal(err)
-	}
 
 	bc := mfiblocks.NewConfig()
 	bc.NG = *ng
 	bc.MaxMinSup = *maxMinSup
+	bc.Shards = *shards
+	bc.SpillPairs = *spillPairs
 	opts := core.Options{
 		Blocking:   bc,
 		Geo:        gazetteer.Builtin(0),
@@ -83,7 +89,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "yver: %v\n", err)
 		os.Exit(2)
 	}
-	res, err := core.Run(opts, coll)
+
+	var res *core.Resolution
+	var err error
+	if *stream {
+		// Skeleton records suffice for ranked matches and clustering;
+		// model scoring, search, and narratives compare record values, so
+		// any flag that needs them keeps the full records in memory.
+		retain := opts.Model != nil || *first != "" || *last != "" || *clusters
+		res, err = runStream(*in, opts, retain)
+	} else {
+		var records []*record.Record
+		records, err = loadRecords(*in)
+		if err != nil {
+			fatal(err)
+		}
+		var coll *record.Collection
+		coll, err = record.NewCollection(records)
+		if err != nil {
+			fatal(err)
+		}
+		res, err = core.Run(opts, coll)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -96,7 +123,7 @@ func main() {
 
 	accepted := res.AtCertainty(*certainty)
 	fmt.Printf("records=%d candidates=%d accepted@%.2f=%d (same-source dropped %d)\n",
-		coll.Len(), len(res.Matches), *certainty, len(accepted), res.DiscardedSameSrc)
+		res.Report.Records, len(res.Matches), *certainty, len(accepted), res.DiscardedSameSrc)
 	n := *top
 	if n > len(accepted) {
 		n = len(accepted)
@@ -137,6 +164,29 @@ func main() {
 			}
 		}
 	}
+}
+
+// runStream resolves a .yvst store through the windowed reader and the
+// streaming pipeline: records are encoded and dropped (or retained, when
+// a flag needs their values) as they arrive, and candidate pairs spill
+// to disk past the configured cap.
+func runStream(path string, opts core.Options, retain bool) (*core.Resolution, error) {
+	if !strings.HasSuffix(path, ".yvst") {
+		return nil, fmt.Errorf("-stream requires a .yvst store, got %s", path)
+	}
+	src, err := store.OpenWindowReader(path, store.Recover)
+	if err != nil {
+		return nil, err
+	}
+	defer src.Close()
+	res, err := core.RunStream(core.StreamOptions{Options: opts, RetainRecords: retain}, src)
+	if err != nil {
+		return nil, err
+	}
+	if src.TornBytes() > 0 {
+		fmt.Fprintf(os.Stderr, "yver: skipped torn tail in %s (%d bytes)\n", path, src.TornBytes())
+	}
+	return res, nil
 }
 
 // loadRecords reads JSONL or, for .yvst files, the binary store format.

@@ -152,17 +152,25 @@ type Resolution struct {
 	// repeated server queries at the same threshold skip the union-find.
 	clusterMu    sync.Mutex
 	clusterCache map[float64][]*Entity
+
+	// pairOnce/pairIdx lazily index Matches by pair for ScorePair when
+	// candidate pairs were spilled to disk and Blocking.PairScores was
+	// never materialized. Only query paths that ask for ad-hoc pairs pay
+	// the index's memory.
+	pairOnce sync.Once
+	pairIdx  map[record.Pair]int
 }
 
 // scoreResult is one scoring stage's output before ranking. The
-// telemetry fields (chunks, scores) ride along so Run can fold them
-// into the RunReport without re-walking the matches.
+// telemetry fields (candidates, chunks, scores) ride along so Run can
+// fold them into the RunReport without re-walking the matches.
 type scoreResult struct {
-	matches []RankedMatch
-	sameSrc int
-	byModel int
-	chunks  int
-	scores  *telemetry.Histogram
+	matches    []RankedMatch
+	candidates int
+	sameSrc    int
+	byModel    int
+	chunks     int
+	scores     *telemetry.Histogram
 }
 
 // observe folds one match score into the stage's local distribution.
@@ -177,14 +185,9 @@ func (s *scoreResult) observe(score float64) {
 // per-chunk bookkeeping is noise.
 const scoreChunkSize = 512
 
-// Run executes the pipeline, recording a per-stage telemetry breakdown
-// (attached to the Resolution as Report) and registry metrics along the
-// way.
-func Run(opts Options, coll *record.Collection) (*Resolution, error) {
-	if err := opts.Validate(); err != nil {
-		return nil, err
-	}
-	reg := opts.metrics()
+// wireDefaults threads the run-wide registry and worker knob into the
+// blocking config unless the caller pinned its own.
+func wireDefaults(opts *Options, reg *telemetry.Registry) {
 	if opts.Blocking.Metrics == nil {
 		// One registry for the whole run: blocking (and its miner)
 		// report where the pipeline reports.
@@ -196,71 +199,105 @@ func Run(opts Options, coll *record.Collection) (*Resolution, error) {
 		// blocking config pins its own count.
 		opts.Blocking.Workers = opts.Workers
 	}
+}
+
+// Run executes the pipeline, recording a per-stage telemetry breakdown
+// (attached to the Resolution as Report) and registry metrics along the
+// way. It is the batch entry point over an in-memory collection;
+// RunStream is its streaming twin over a RecordSource.
+func Run(opts Options, coll *record.Collection) (*Resolution, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	reg := opts.metrics()
+	wireDefaults(&opts, reg)
 	report := &telemetry.RunReport{
 		SchemaVersion: telemetry.ReportSchemaVersion,
 		Records:       coll.Len(),
 		Workers:       opts.workers(),
 	}
-	stage := func(name string, d time.Duration, counters map[string]int64) {
-		reg.Timer("core_stage_seconds", telemetry.L("stage", name)).Observe(d)
-		report.AddStage(name, d, counters)
-		telemetry.Log().Debug("core stage done", "stage", name, "elapsed", d)
-	}
+	stages := newStageRunner(reg, report)
 
 	work := coll
-	t0 := time.Now()
-	if opts.Preprocess {
-		gaz := opts.Gazetteer
-		if gaz == nil {
-			gaz = gazetteer.Builtin(0)
+	if err := stages.run("preprocess", func() (map[string]int64, error) {
+		if opts.Preprocess {
+			gaz := opts.Gazetteer
+			if gaz == nil {
+				gaz = gazetteer.Builtin(0)
+			}
+			var err error
+			work, err = PreprocessWith(coll, gaz)
+			if err != nil {
+				return nil, fmt.Errorf("core: preprocess: %w", err)
+			}
 		}
+		return map[string]int64{"records": int64(work.Len())}, nil
+	}); err != nil {
+		return nil, err
+	}
+
+	var blk *mfiblocks.Result
+	if err := stages.run("blocking", func() (map[string]int64, error) {
 		var err error
-		work, err = PreprocessWith(coll, gaz)
+		blk, err = mfiblocks.Run(opts.Blocking, work)
 		if err != nil {
-			return nil, fmt.Errorf("core: preprocess: %w", err)
+			return nil, fmt.Errorf("core: blocking: %w", err)
 		}
+		return blockingCounters(blk), nil
+	}); err != nil {
+		return nil, err
 	}
-	stage("preprocess", time.Since(t0), map[string]int64{"records": int64(work.Len())})
 
-	t0 = time.Now()
-	blk, err := mfiblocks.Run(opts.Blocking, work)
-	if err != nil {
-		return nil, fmt.Errorf("core: blocking: %w", err)
-	}
-	stage("blocking", time.Since(t0), map[string]int64{
-		"blocks":     int64(len(blk.Blocks)),
-		"pairs":      int64(len(blk.Pairs)),
-		"iterations": int64(len(blk.Iterations)),
-	})
+	return resolve(&opts, reg, report, stages, work, blk)
+}
+
+// resolve runs the pipeline's back half — scoring and ranking — over a
+// finished blocking result, then assembles the Resolution and its
+// report. Run and RunStream converge here: spilled and in-memory
+// candidate sets take the same path from this point on.
+func resolve(opts *Options, reg *telemetry.Registry, report *telemetry.RunReport, stages *stageRunner, work *record.Collection, blk *mfiblocks.Result) (*Resolution, error) {
 	report.Blocking = blockingReport(blk)
-
 	res := &Resolution{
 		Blocking:   blk,
 		Collection: work,
 		model:      opts.Model,
-		profiles:   features.NewProfileCache(newScoringExtractor(&opts)),
+		profiles:   features.NewProfileCache(newScoringExtractor(opts)),
 		Report:     report,
 	}
 
-	t0 = time.Now()
-	st := scorePairs(&opts, work, blk, res.profiles, opts.workers(), reg)
-	res.Matches = st.matches
-	res.DiscardedSameSrc = st.sameSrc
-	res.DiscardedByModel = st.byModel
-	stage("scoring", time.Since(t0), map[string]int64{
-		"candidates":       int64(len(blk.Pairs)),
-		"matches":          int64(len(st.matches)),
-		"same_src_dropped": int64(st.sameSrc),
-		"model_dropped":    int64(st.byModel),
-	})
+	var st scoreResult
+	if err := stages.run("scoring", func() (map[string]int64, error) {
+		var err error
+		st, err = runScoring(opts, work, blk, res.profiles, opts.workers(), reg)
+		if err != nil {
+			return nil, fmt.Errorf("core: scoring: %w", err)
+		}
+		res.Matches = st.matches
+		res.DiscardedSameSrc = st.sameSrc
+		res.DiscardedByModel = st.byModel
+		return map[string]int64{
+			"candidates":       int64(st.candidates),
+			"matches":          int64(len(st.matches)),
+			"same_src_dropped": int64(st.sameSrc),
+			"model_dropped":    int64(st.byModel),
+		}, nil
+	}); err != nil {
+		return nil, err
+	}
 
-	t0 = time.Now()
-	sortMatches(res.Matches)
-	stage("rank", time.Since(t0), map[string]int64{"matches": int64(len(res.Matches))})
+	if err := stages.run("rank", func() (map[string]int64, error) {
+		sortMatches(res.Matches)
+		return map[string]int64{"matches": int64(len(res.Matches))}, nil
+	}); err != nil {
+		return nil, err
+	}
 
-	report.Scoring = scoringReport(&st, blk, res.profiles, opts.workers())
+	// A spilled run learns its exact candidate count only at the merge,
+	// so the blocking report is finalized after scoring.
+	report.Blocking.Pairs = st.candidates
+	report.Scoring = scoringReport(&st, res.profiles, opts.workers())
 	reg.Counter("core_runs_total").Inc()
-	reg.Counter("core_candidate_pairs_total").Add(int64(len(blk.Pairs)))
+	reg.Counter("core_candidate_pairs_total").Add(int64(st.candidates))
 	reg.Counter("core_matches_total").Add(int64(len(res.Matches)))
 	reg.Counter("core_samesrc_dropped_total").Add(int64(st.sameSrc))
 	reg.Counter("core_model_dropped_total").Add(int64(st.byModel))
@@ -278,10 +315,52 @@ func Run(opts Options, coll *record.Collection) (*Resolution, error) {
 	}
 	reg.Gauge(telemetry.FamilyInternedStrings).Set(float64(ex.InternedStrings()))
 	telemetry.Log().Info("core run done",
-		"records", work.Len(), "candidates", len(blk.Pairs),
+		"records", work.Len(), "candidates", st.candidates,
 		"matches", len(res.Matches), "workers", opts.workers(),
 		"elapsed", time.Duration(report.TotalNS))
 	return res, nil
+}
+
+// blockingCounters summarizes a blocking result for its stage entry. A
+// spilled run reports its spill activity instead of an exact pair count
+// — distinct pairs are only known once the scoring stage merges the
+// runs.
+func blockingCounters(blk *mfiblocks.Result) map[string]int64 {
+	c := map[string]int64{
+		"blocks":     int64(len(blk.Blocks)),
+		"pairs":      int64(len(blk.Pairs)),
+		"iterations": int64(len(blk.Iterations)),
+	}
+	if blk.Spill != nil {
+		st := blk.Spill.Stats()
+		c["spill_runs"] = int64(st.Runs)
+		c["spill_entries"] = st.SpilledEntries
+	}
+	return c
+}
+
+// runScoring dispatches the scoring stage on the blocking result's
+// candidate representation: the in-memory pair slice goes through the
+// chunked pool (or the exact serial seed path), a spilled run is drained
+// through its sorted merge. Both yield the same Matches after ranking —
+// sortMatches is a total order, so the pre-sort order difference between
+// first-seen and (A, B)-merged streams cannot survive it.
+func runScoring(opts *Options, work *record.Collection, blk *mfiblocks.Result, cache *features.ProfileCache, workers int, reg *telemetry.Registry) (scoreResult, error) {
+	if blk.Spill != nil {
+		st, err := scoreSpill(opts, work, blk, cache, workers, reg)
+		if err != nil {
+			return st, err
+		}
+		// The merge is single-shot; release the run files now rather
+		// than holding descriptors for the Resolution's lifetime.
+		if err := blk.Spill.Close(); err != nil {
+			return st, err
+		}
+		return st, nil
+	}
+	st := scorePairs(opts, work, blk, cache, workers, reg)
+	st.candidates = len(blk.Pairs)
+	return st, nil
 }
 
 // blockingReport converts the blocking result into its report form.
@@ -327,11 +406,11 @@ func newScoringExtractor(opts *Options) *features.Extractor {
 
 // scoringReport converts the scoring stage's outcome into its report
 // form.
-func scoringReport(st *scoreResult, blk *mfiblocks.Result, cache *features.ProfileCache, workers int) *telemetry.ScoringReport {
+func scoringReport(st *scoreResult, cache *features.ProfileCache, workers int) *telemetry.ScoringReport {
 	cs := cache.Stats()
 	ms := cache.Extractor().Memo.Stats()
 	sr := &telemetry.ScoringReport{
-		Candidates:      len(blk.Pairs),
+		Candidates:      st.candidates,
 		SameSrcDropped:  st.sameSrc,
 		ModelDropped:    st.byModel,
 		Matches:         len(st.matches),
@@ -531,8 +610,12 @@ func (r *Resolution) ScorePair(aID, bID int64) (RankedMatch, error) {
 		return RankedMatch{}, fmt.Errorf("%w: %d", ErrUnknownReport, bID)
 	}
 	m := RankedMatch{Pair: record.MakePair(aID, bID)}
-	if r.Blocking != nil {
+	if r.Blocking != nil && r.Blocking.PairScores != nil {
 		m.BlockScore = r.Blocking.PairScores[m.Pair]
+	} else if i, ok := r.pairIndex()[m.Pair]; ok {
+		// Spill mode never builds PairScores; every candidate's block
+		// score survives on its ranked match instead.
+		m.BlockScore = r.Matches[i].BlockScore
 	}
 	m.Score = m.BlockScore
 	if r.model != nil && r.profiles != nil {
@@ -540,6 +623,19 @@ func (r *Resolution) ScorePair(aID, bID int64) (RankedMatch, error) {
 		m.Score = r.model.Score(ex.ExtractProfiled(r.profiles.Get(ra), r.profiles.Get(rb)))
 	}
 	return m, nil
+}
+
+// pairIndex returns the lazy pair → Matches index, building it on first
+// use. Matches hold every scored candidate, so the index answers the
+// same lookups Blocking.PairScores would.
+func (r *Resolution) pairIndex() map[record.Pair]int {
+	r.pairOnce.Do(func() {
+		r.pairIdx = make(map[record.Pair]int, len(r.Matches))
+		for i, m := range r.Matches {
+			r.pairIdx[m.Pair] = i
+		}
+	})
+	return r.pairIdx
 }
 
 // AtCertainty returns the matches with Score >= theta — the query-time

@@ -80,6 +80,46 @@ func TestRunWorkerEquivalence(t *testing.T) {
 	}
 }
 
+// TestScorePairSpillMode is the regression test for /api/pair under
+// -spill-pairs: spilling never builds Blocking.PairScores, so ScorePair
+// must recover each candidate's block score from the lazy pair index
+// instead of silently reading 0 out of a nil map.
+func TestScorePairSpillMode(t *testing.T) {
+	fx := newFixture(t, 200)
+	gen := fx.gen
+	opts := Options{Blocking: mfiblocks.NewConfig(), Geo: gen.Gaz, Preprocess: true, Gazetteer: gen.Gaz}
+	ref, err := Run(opts, gen.Collection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Blocking.SpillPairs = 64
+	res, err := Run(opts, gen.Collection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRunsEqual(t, "spill", ref, res)
+	if res.Blocking.PairScores != nil {
+		t.Fatal("spill run unexpectedly materialized PairScores")
+	}
+	n := len(res.Matches)
+	if n > 50 {
+		n = 50
+	}
+	for _, m := range res.Matches[:n] {
+		got, err := res.ScorePair(m.Pair.A, m.Pair.B)
+		if err != nil {
+			t.Fatalf("ScorePair(%v): %v", m.Pair, err)
+		}
+		if got != m {
+			t.Fatalf("ScorePair(%v) = %+v, ranked as %+v", m.Pair, got, m)
+		}
+	}
+	// A pair blocking never proposed has no block score in either mode.
+	if m, err := res.ScorePair(res.Matches[0].Pair.A, -1); err == nil {
+		t.Fatalf("ScorePair with unknown report = %+v, want error", m)
+	}
+}
+
 // TestScorePairAgreesWithRanking verifies the query-time profiled scorer
 // reproduces the ranked list's scores exactly.
 func TestScorePairAgreesWithRanking(t *testing.T) {

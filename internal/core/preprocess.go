@@ -22,22 +22,29 @@ func Preprocess(coll *record.Collection) (*record.Collection, error) {
 func PreprocessWith(coll *record.Collection, gaz *gazetteer.Gazetteer) (*record.Collection, error) {
 	out := make([]*record.Record, coll.Len())
 	for i, r := range coll.Records {
-		cp := r.Clone()
-		for k := range cp.Items {
-			it := &cp.Items[k]
-			switch {
-			case it.Type.IsName() && it.Type != record.LastName &&
-				it.Type != record.MaidenName && it.Type != record.MotherMaiden:
-				it.Value = names.Canonical(it.Value)
-			case it.Type.IsPlace():
-				if _, part, _ := it.Type.Place(); part == record.City && gaz != nil {
-					if p, ok := gaz.Lookup(it.Value); ok {
-						it.Value = p.City
-					}
+		out[i] = preprocessRecord(r, gaz)
+	}
+	return record.NewCollection(out)
+}
+
+// preprocessRecord canonicalizes one record's values — the per-record
+// kernel PreprocessWith applies collection-wide and the streaming ingest
+// stage applies record by record. The input record is not modified.
+func preprocessRecord(r *record.Record, gaz *gazetteer.Gazetteer) *record.Record {
+	cp := r.Clone()
+	for k := range cp.Items {
+		it := &cp.Items[k]
+		switch {
+		case it.Type.IsName() && it.Type != record.LastName &&
+			it.Type != record.MaidenName && it.Type != record.MotherMaiden:
+			it.Value = names.Canonical(it.Value)
+		case it.Type.IsPlace():
+			if _, part, _ := it.Type.Place(); part == record.City && gaz != nil {
+				if p, ok := gaz.Lookup(it.Value); ok {
+					it.Value = p.City
 				}
 			}
 		}
-		out[i] = cp
 	}
-	return record.NewCollection(out)
+	return cp
 }

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// stageRunner executes the pipeline's stages, landing each one's wall
+// clock and counters in both the metrics registry and the run report.
+// Run and RunStream are built from the same runner, so the two entry
+// points expose identical per-stage telemetry shapes — the stage list is
+// the execution order and golden tests key on it.
+type stageRunner struct {
+	reg    *telemetry.Registry
+	report *telemetry.RunReport
+}
+
+func newStageRunner(reg *telemetry.Registry, report *telemetry.RunReport) *stageRunner {
+	return &stageRunner{reg: reg, report: report}
+}
+
+// run executes one named stage. The stage's counters are recorded only
+// on success; a failing stage leaves no report entry, exactly as a
+// failing pipeline returned before its stage() call historically.
+func (s *stageRunner) run(name string, fn func() (map[string]int64, error)) error {
+	t0 := time.Now()
+	counters, err := fn()
+	if err != nil {
+		return err
+	}
+	d := time.Since(t0)
+	s.reg.Timer("core_stage_seconds", telemetry.L("stage", name)).Observe(d)
+	s.report.AddStage(name, d, counters)
+	telemetry.Log().Debug("core stage done", "stage", name, "elapsed", d)
+	return nil
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/features"
+	"repro/internal/gazetteer"
+	"repro/internal/mfiblocks"
+	"repro/internal/record"
+	"repro/internal/spill"
+	"repro/internal/telemetry"
+)
+
+// RecordSource yields records one at a time; io.EOF ends the stream.
+// store.WindowReader satisfies it directly, so a .yvst file streams into
+// the pipeline without ever materializing the whole corpus.
+type RecordSource interface {
+	NextRecord() (*record.Record, error)
+}
+
+// CollectionSource streams an in-memory collection — the adapter the
+// equivalence tests use to drive RunStream over the exact records a
+// batch Run saw.
+type CollectionSource struct {
+	records []*record.Record
+	pos     int
+}
+
+// NewCollectionSource streams the collection's records in order.
+func NewCollectionSource(coll *record.Collection) *CollectionSource {
+	return &CollectionSource{records: coll.Records}
+}
+
+// NextRecord implements RecordSource.
+func (s *CollectionSource) NextRecord() (*record.Record, error) {
+	if s.pos >= len(s.records) {
+		return nil, io.EOF
+	}
+	r := s.records[s.pos]
+	s.pos++
+	return r, nil
+}
+
+// StreamOptions configures RunStream.
+type StreamOptions struct {
+	Options
+	// RetainRecords keeps the full (preprocessed) records in memory.
+	// When false — the bounded-memory default — the ingest stage keeps
+	// only skeleton records (BookID, Source, Kind): enough for SameSrc
+	// filtering and entity clustering, while the corpus holds just the
+	// compact encoded transactions. Model scoring and ExpertSim blocking
+	// compare record values, so they require RetainRecords.
+	RetainRecords bool
+}
+
+// Validate extends Options.Validate with the streaming constraints.
+func (o *StreamOptions) Validate() error {
+	if err := o.Options.Validate(); err != nil {
+		return err
+	}
+	if o.Model != nil && !o.RetainRecords {
+		return fmt.Errorf("core: Model scoring requires RetainRecords")
+	}
+	if o.Blocking.ExpertSim && !o.RetainRecords {
+		return fmt.Errorf("core: ExpertSim blocking requires RetainRecords")
+	}
+	return nil
+}
+
+// RunStream executes the pipeline over a record stream: ingest (read,
+// preprocess, encode — one record at a time), blocking over the encoded
+// corpus, scoring over the disk-spillable candidate stream, and ranking.
+// Candidate pairs always route through the spill accumulator
+// (Blocking.SpillPairs, defaulting to spill.DefaultCap), so peak memory
+// is bounded by the encoded corpus plus the spill window — not by the
+// candidate-pair count. The final Matches (and everything derived from
+// them: Pairs, AtCertainty, Clusters) are bit-identical to a batch Run
+// over the same records with the same options.
+func RunStream(opts StreamOptions, src RecordSource) (*Resolution, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	reg := opts.metrics()
+	wireDefaults(&opts.Options, reg)
+	if opts.Blocking.SpillPairs == 0 {
+		opts.Blocking.SpillPairs = spill.DefaultCap
+	}
+	report := &telemetry.RunReport{
+		SchemaVersion: telemetry.ReportSchemaVersion,
+		Workers:       opts.workers(),
+	}
+	stages := newStageRunner(reg, report)
+
+	corpus := &mfiblocks.Corpus{Dict: record.NewDictionary()}
+	var kept []*record.Record
+	if err := stages.run("ingest", func() (map[string]int64, error) {
+		gaz := opts.Gazetteer
+		if gaz == nil {
+			gaz = gazetteer.Builtin(0)
+		}
+		for {
+			r, err := src.NextRecord()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, fmt.Errorf("core: ingest: %w", err)
+			}
+			if opts.Preprocess {
+				r = preprocessRecord(r, gaz)
+			}
+			corpus.Encoded = append(corpus.Encoded, corpus.Dict.Observe(r))
+			corpus.BookIDs = append(corpus.BookIDs, r.BookID)
+			if opts.RetainRecords {
+				kept = append(kept, r)
+			} else {
+				// Skeleton: identity and provenance survive, item values
+				// are dropped — the encoded transaction already carries
+				// everything blocking needs.
+				kept = append(kept, &record.Record{BookID: r.BookID, Source: r.Source, Kind: r.Kind})
+			}
+		}
+		return map[string]int64{"records": int64(len(kept))}, nil
+	}); err != nil {
+		return nil, err
+	}
+
+	work, err := record.NewCollection(kept)
+	if err != nil {
+		return nil, fmt.Errorf("core: ingest: %w", err)
+	}
+	report.Records = work.Len()
+	if opts.RetainRecords {
+		corpus.Records = work.Records
+	}
+
+	var blk *mfiblocks.Result
+	if err := stages.run("blocking", func() (map[string]int64, error) {
+		var err error
+		blk, err = mfiblocks.RunCorpus(opts.Blocking, corpus)
+		if err != nil {
+			return nil, fmt.Errorf("core: blocking: %w", err)
+		}
+		return blockingCounters(blk), nil
+	}); err != nil {
+		return nil, err
+	}
+
+	return resolve(&opts.Options, reg, report, stages, work, blk)
+}
+
+// pairScore is one spilled candidate surfaced to the scoring stage.
+type pairScore struct {
+	pair  record.Pair
+	score float64
+}
+
+// scoreSpill drains the blocking stage's spilled candidate stream
+// through the scoring filters — SameSrc, model scoring, classification.
+// The merged stream is read sequentially in chunks; with workers > 1 the
+// chunks are scored on a bounded pool, so in-flight memory stays at
+// workers×chunk candidates while the accepted matches accumulate. The
+// pre-sort match order differs from scorePairs' first-seen order, but
+// sortMatches is a total order over (score, pair), so the ranked output
+// is identical.
+func scoreSpill(opts *Options, work *record.Collection, blk *mfiblocks.Result, cache *features.ProfileCache, workers int, reg *telemetry.Registry) (scoreResult, error) {
+	it, err := blk.Spill.Iter()
+	if err != nil {
+		return scoreResult{}, err
+	}
+	ex := cache.Extractor()
+	scoreOne := func(out *scoreResult, c pairScore) {
+		ra, rb := work.ByID(c.pair.A), work.ByID(c.pair.B)
+		if opts.SameSrc && ra.Source != "" && ra.Source == rb.Source {
+			out.sameSrc++
+			return
+		}
+		m := RankedMatch{Pair: c.pair, BlockScore: c.score}
+		m.Score = m.BlockScore
+		if opts.Model != nil {
+			m.Score = opts.Model.Score(ex.Extract(ra, rb))
+			if opts.Classify && m.Score <= 0 {
+				out.byModel++
+				return
+			}
+		}
+		out.observe(m.Score)
+		out.matches = append(out.matches, m)
+	}
+
+	total := scoreResult{scores: telemetry.NewHistogram(telemetry.ScoreBuckets)}
+	chunkTimer := reg.Timer("core_score_chunk_seconds")
+	chunkCounter := reg.Counter("core_score_chunks_total")
+	pairCounter := reg.Counter("core_scored_pairs_total")
+
+	if workers <= 1 {
+		for {
+			p, score, err := it.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return total, err
+			}
+			total.candidates++
+			scoreOne(&total, pairScore{p, score})
+		}
+		pairCounter.Add(int64(total.candidates))
+		return total, nil
+	}
+
+	jobs := make(chan []pairScore, workers)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := scoreResult{scores: telemetry.NewHistogram(telemetry.ScoreBuckets)}
+			for chunk := range jobs {
+				tc := time.Now()
+				for _, c := range chunk {
+					scoreOne(&local, c)
+				}
+				local.chunks++
+				chunkTimer.Observe(time.Since(tc))
+				chunkCounter.Inc()
+				pairCounter.Add(int64(len(chunk)))
+			}
+			mu.Lock()
+			total.matches = append(total.matches, local.matches...)
+			total.sameSrc += local.sameSrc
+			total.byModel += local.byModel
+			total.chunks += local.chunks
+			total.scores.Merge(local.scores)
+			mu.Unlock()
+		}()
+	}
+
+	var readErr error
+	chunk := make([]pairScore, 0, scoreChunkSize)
+	for {
+		p, score, err := it.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			readErr = err
+			break
+		}
+		total.candidates++
+		chunk = append(chunk, pairScore{p, score})
+		if len(chunk) == scoreChunkSize {
+			jobs <- chunk
+			chunk = make([]pairScore, 0, scoreChunkSize)
+		}
+	}
+	if len(chunk) > 0 && readErr == nil {
+		jobs <- chunk
+	}
+	close(jobs)
+	wg.Wait()
+	return total, readErr
+}

@@ -49,6 +49,27 @@ type Config struct {
 	// 0 means GOMAXPROCS, 1 runs the exact serial paths. Mined MFIs,
 	// blocks, and Result.Pairs are bit-identical for every worker count.
 	Workers int
+	// Shards partitions each iteration's block materialization by a
+	// deterministic signature hash of the MFI key: shard k materializes
+	// and scores only the blocks whose key hashes to k, and the per-shard
+	// outputs are merged under the engine's canonical block order. Mining
+	// stays global (itemset support and maximality are whole-corpus
+	// properties — shard-local mining would admit phantom MFIs), so the
+	// output is bit-identical for every shard count. 0 or 1 disables
+	// sharding.
+	Shards int
+	// SpillPairs, when positive, routes candidate-pair emission through a
+	// disk-spillable accumulator holding at most this many distinct pairs
+	// in memory: Result.Spill carries the merged (A, B)-sorted stream and
+	// Pairs/PairScores/PairBlocks stay nil. The stream holds exactly the
+	// pairs and max-combined scores of an unspilled run; only the
+	// per-iteration NewPairs statistic degrades to a window-local count.
+	// 0 disables spilling (the in-memory default).
+	SpillPairs int
+	// SpillDir is where SpillPairs writes its sorted runs; empty selects
+	// the system temp directory. Run files are unlinked at creation, so a
+	// crash leaves nothing behind.
+	SpillDir string
 	// Metrics receives blocking-stage counters and timings (mfiblocks_*
 	// and fpgrowth_* families); nil falls back to telemetry.Default().
 	Metrics *telemetry.Registry
@@ -90,6 +111,10 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("mfiblocks: PruneFraction %v out of [0,1)", c.PruneFraction)
 	case c.ExpertSim && c.Geo == nil:
 		return fmt.Errorf("mfiblocks: ExpertSim requires Geo")
+	case c.Shards < 0:
+		return fmt.Errorf("mfiblocks: Shards must be >= 0, got %d", c.Shards)
+	case c.SpillPairs < 0:
+		return fmt.Errorf("mfiblocks: SpillPairs must be >= 0, got %d", c.SpillPairs)
 	}
 	return nil
 }

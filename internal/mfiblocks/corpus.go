@@ -1,0 +1,65 @@
+package mfiblocks
+
+import (
+	"fmt"
+
+	"repro/internal/record"
+)
+
+// Corpus is the encoded form the blocking engine actually operates on:
+// the item dictionary, the per-record sorted item-id transactions, and
+// the BookID of each transaction. It decouples the engine from
+// record.Collection so a streaming caller can assemble it incrementally
+// (interning items record by record, then dropping the raw records) while
+// batch callers keep the one-shot Run entry point.
+type Corpus struct {
+	// Dict maps item keys to the dense ids Encoded uses.
+	Dict *record.Dictionary
+	// Encoded holds one sorted, deduplicated item-id transaction per
+	// record, indexed by the same position as BookIDs.
+	Encoded [][]int
+	// BookIDs gives each transaction's report identifier — the values
+	// candidate pairs are expressed in.
+	BookIDs []int64
+	// Records optionally carries the raw records, positionally aligned
+	// with Encoded. Required only by ExpertSim scoring, which compares
+	// item values; a streaming caller that sticks to the default
+	// itemset-Jaccard score leaves it nil and the engine never touches
+	// record values.
+	Records []*record.Record
+}
+
+// NewCorpus encodes a collection: the exact dictionary-and-transaction
+// preparation Run has always performed, exposed so callers can share one
+// encoding across several engine invocations.
+func NewCorpus(coll *record.Collection) *Corpus {
+	n := coll.Len()
+	dict := record.BuildDictionary(coll)
+	c := &Corpus{
+		Dict:    dict,
+		Encoded: make([][]int, n),
+		BookIDs: make([]int64, n),
+		Records: coll.Records,
+	}
+	for i, r := range coll.Records {
+		c.Encoded[i] = dict.Encode(r)
+		c.BookIDs[i] = r.BookID
+	}
+	return c
+}
+
+// Len returns the number of transactions.
+func (c *Corpus) Len() int { return len(c.Encoded) }
+
+// validate reports the first structural problem with the corpus.
+func (c *Corpus) validate() error {
+	switch {
+	case c.Dict == nil:
+		return fmt.Errorf("mfiblocks: corpus has no dictionary")
+	case len(c.Encoded) != len(c.BookIDs):
+		return fmt.Errorf("mfiblocks: corpus has %d transactions but %d book ids", len(c.Encoded), len(c.BookIDs))
+	case c.Records != nil && len(c.Records) != len(c.Encoded):
+		return fmt.Errorf("mfiblocks: corpus has %d transactions but %d records", len(c.Encoded), len(c.Records))
+	}
+	return nil
+}

@@ -1,15 +1,18 @@
 package mfiblocks
 
 import (
+	"fmt"
 	"math"
 	"slices"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/fpgrowth"
 	"repro/internal/record"
+	"repro/internal/spill"
 	"repro/internal/telemetry"
 )
 
@@ -38,6 +41,12 @@ type Result struct {
 	Covered []bool
 	// Iterations records per-minsup statistics.
 	Iterations []IterationStats
+	// Spill carries the disk-spillable candidate accumulator when
+	// Config.SpillPairs enables spilling; Pairs, PairScores, and
+	// PairBlocks are nil in that mode. Consumers call Spill.Iter() for
+	// the merged stream — every distinct pair once, ascending by (A, B),
+	// with its best block score — and own closing it.
+	Spill *spill.Pairs
 }
 
 // IterationStats captures one minsup level of Algorithm 1.
@@ -54,18 +63,34 @@ type IterationStats struct {
 	Elapsed    time.Duration
 }
 
-// Run executes MFIBlocks over the collection.
+// Run executes MFIBlocks over the collection. It is the batch entry
+// point: the collection is encoded into a Corpus and handed to
+// RunCorpus.
 func Run(cfg Config, coll *record.Collection) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	reg := cfg.metrics()
-	n := coll.Len()
-	dict := record.BuildDictionary(coll)
-	encoded := make([][]int, n)
-	for i, r := range coll.Records {
-		encoded[i] = dict.Encode(r)
+	return RunCorpus(cfg, NewCorpus(coll))
+}
+
+// RunCorpus executes MFIBlocks over a pre-encoded corpus — the entry
+// point streaming callers use after assembling the corpus incrementally.
+// The corpus may omit raw records unless ExpertSim scoring needs their
+// values.
+func RunCorpus(cfg Config, corpus *Corpus) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
+	if err := corpus.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ExpertSim && corpus.Records == nil {
+		return nil, fmt.Errorf("mfiblocks: ExpertSim requires corpus records")
+	}
+	reg := cfg.metrics()
+	n := corpus.Len()
+	dict := corpus.Dict
+	encoded := corpus.Encoded
 	miner := fpgrowth.NewMiner(encoded)
 	miner.Metrics = reg
 	miner.Workers = cfg.Workers
@@ -73,12 +98,16 @@ func Run(cfg Config, coll *record.Collection) (*Result, error) {
 		miner.Prune(dict.MostFrequent(cfg.PruneFraction))
 	}
 	index := miner.BuildIndex()
-	sc := newScorer(&cfg, dict, encoded, coll.Records)
+	sc := newScorer(&cfg, dict, encoded, corpus.Records)
 
-	res := &Result{
-		PairScores: make(map[record.Pair]float64),
-		PairBlocks: make(map[record.Pair][]int),
-		Covered:    make([]bool, n),
+	res := &Result{Covered: make([]bool, n)}
+	var sink *spill.Pairs
+	if cfg.SpillPairs > 0 {
+		sink = spill.NewPairs(cfg.SpillPairs, cfg.SpillDir)
+		res.Spill = sink
+	} else {
+		res.PairScores = make(map[record.Pair]float64)
+		res.PairBlocks = make(map[record.Pair][]int)
 	}
 	minTh := cfg.MinScore
 	coveredCount := 0
@@ -111,7 +140,7 @@ func Run(cfg Config, coll *record.Collection) (*Result, error) {
 		}
 
 		mfis := miner.MineMaximalFreq(minsup, active, freq)
-		blocks, csPruned := buildBlocks(&cfg, sc, index, mfis, minsup)
+		blocks, csPruned := buildBlocksSharded(&cfg, sc, index, mfis, minsup, reg)
 
 		// Enforce the sparse-neighborhood condition for this iteration:
 		// every record admits blocks best-first while its distinct
@@ -128,15 +157,26 @@ func Run(cfg Config, coll *record.Collection) (*Result, error) {
 			for i := 0; i < len(b.Members); i++ {
 				for j := i + 1; j < len(b.Members); j++ {
 					mi, mj := b.Members[i], b.Members[j]
-					p := record.MakePair(coll.Records[mi].BookID, coll.Records[mj].BookID)
-					if _, seen := res.PairScores[p]; !seen {
-						res.Pairs = append(res.Pairs, p)
-						stats.NewPairs++
+					p := record.MakePair(corpus.BookIDs[mi], corpus.BookIDs[mj])
+					if sink != nil {
+						first, err := sink.Add(p, b.Score)
+						if err != nil {
+							sink.Close()
+							return nil, err
+						}
+						if first {
+							stats.NewPairs++
+						}
+					} else {
+						if _, seen := res.PairScores[p]; !seen {
+							res.Pairs = append(res.Pairs, p)
+							stats.NewPairs++
+						}
+						if b.Score > res.PairScores[p] {
+							res.PairScores[p] = b.Score
+						}
+						res.PairBlocks[p] = append(res.PairBlocks[p], bi)
 					}
-					if b.Score > res.PairScores[p] {
-						res.PairScores[p] = b.Score
-					}
-					res.PairBlocks[p] = append(res.PairBlocks[p], bi)
 					for _, m := range []int{mi, mj} {
 						if !res.Covered[m] {
 							res.Covered[m] = true
@@ -194,6 +234,17 @@ func buildBlocks(cfg *Config, sc *scorer, index *fpgrowth.Index, mfis []fpgrowth
 			defer wg.Done()
 			pruned := int64(0)
 			for k := lo; k < hi; k++ {
+				// Mining runs over the still-active subset, so the mined
+				// support lower-bounds the whole-DB support the cap is
+				// checked against: Support > maxSize already implies the
+				// materialized set would be pruned. Skipping before
+				// SupportSet avoids allocating the giant member slices
+				// that dominate RSS when common items support tens of
+				// thousands of records.
+				if mfis[k].Support > maxSize {
+					pruned++
+					continue
+				}
 				members := index.SupportSet(mfis[k].Items)
 				if len(members) < 2 {
 					continue
@@ -220,6 +271,56 @@ func buildBlocks(cfg *Config, sc *scorer, index *fpgrowth.Index, mfis []fpgrowth
 		}
 	}
 	return blocks, int(csPruned.Load())
+}
+
+// shardOf assigns an MFI key to one of shards partitions by FNV-1a over
+// its item ids. The hash depends only on the key's content, so a block
+// lands in the same shard in every run and for every worker count.
+func shardOf(key []int, shards int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, it := range key {
+		v := uint64(it)
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xFF
+			h *= prime64
+		}
+	}
+	return int(h % uint64(shards))
+}
+
+// buildBlocksSharded partitions one iteration's MFIs into signature
+// shards and materializes each shard separately, recording per-shard
+// wall clock. Mining is global, so each MFI's support set — and
+// therefore its block — is identical to the unsharded run's; the merge
+// is plain concatenation because enforceNG re-sorts every iteration's
+// blocks under a total order, making the downstream outcome independent
+// of block arrival order. Shards <= 1 takes the direct path.
+func buildBlocksSharded(cfg *Config, sc *scorer, index *fpgrowth.Index, mfis []fpgrowth.Itemset, minsup int, reg *telemetry.Registry) ([]*Block, int) {
+	if cfg.Shards <= 1 {
+		return buildBlocks(cfg, sc, index, mfis, minsup)
+	}
+	parts := make([][]fpgrowth.Itemset, cfg.Shards)
+	for _, m := range mfis {
+		s := shardOf(m.Items, cfg.Shards)
+		parts[s] = append(parts[s], m)
+	}
+	var blocks []*Block
+	csPruned := 0
+	for si, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		t0 := time.Now()
+		b, pruned := buildBlocks(cfg, sc, index, part, minsup)
+		blocks = append(blocks, b...)
+		csPruned += pruned
+		reg.Timer("mfiblocks_shard_seconds", telemetry.L("shard", strconv.Itoa(si))).Observe(time.Since(t0))
+	}
+	return blocks, csPruned
 }
 
 // enforceNG applies the sparse-neighborhood condition: blocks are

@@ -1,0 +1,270 @@
+package mfiblocks
+
+import (
+	"io"
+	"reflect"
+	"testing"
+
+	"repro/internal/record"
+)
+
+// stripElapsed zeroes the wall-clock field so iteration stats compare
+// structurally.
+func stripElapsed(stats []IterationStats) []IterationStats {
+	out := append([]IterationStats(nil), stats...)
+	for i := range out {
+		out[i].Elapsed = 0
+	}
+	return out
+}
+
+// TestRunShardedBitIdentical is the engine-level half of the sharding
+// contract: for every shard count, Blocks, Pairs, PairScores, PairBlocks,
+// Covered, and the per-iteration statistics are bit-identical to the
+// unsharded run — not merely set-equal.
+func TestRunShardedBitIdentical(t *testing.T) {
+	g := smallItaly(t, 400)
+	base := NewConfig()
+	want, err := Run(base, g.Collection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Pairs) == 0 {
+		t.Fatal("baseline produced no pairs")
+	}
+
+	for _, shards := range []int{1, 2, 3, 8, 64} {
+		for _, workers := range []int{1, 8} {
+			cfg := NewConfig()
+			cfg.Shards = shards
+			cfg.Workers = workers
+			got, err := Run(cfg, g.Collection)
+			if err != nil {
+				t.Fatalf("shards=%d workers=%d: %v", shards, workers, err)
+			}
+			if !reflect.DeepEqual(want.Pairs, got.Pairs) {
+				t.Fatalf("shards=%d workers=%d: Pairs diverge (%d vs %d)",
+					shards, workers, len(got.Pairs), len(want.Pairs))
+			}
+			if !reflect.DeepEqual(want.PairScores, got.PairScores) {
+				t.Fatalf("shards=%d workers=%d: PairScores diverge", shards, workers)
+			}
+			if !reflect.DeepEqual(want.PairBlocks, got.PairBlocks) {
+				t.Fatalf("shards=%d workers=%d: PairBlocks diverge", shards, workers)
+			}
+			if !reflect.DeepEqual(want.Blocks, got.Blocks) {
+				t.Fatalf("shards=%d workers=%d: Blocks diverge", shards, workers)
+			}
+			if !reflect.DeepEqual(want.Covered, got.Covered) {
+				t.Fatalf("shards=%d workers=%d: Covered diverges", shards, workers)
+			}
+			if !reflect.DeepEqual(stripElapsed(want.Iterations), stripElapsed(got.Iterations)) {
+				t.Fatalf("shards=%d workers=%d: iteration stats diverge", shards, workers)
+			}
+		}
+	}
+}
+
+// TestRunShardedDeterministicUnderTies reruns the tie-heavy fixture
+// sharded: score collisions that cross shard boundaries must still
+// resolve through the canonical block order, identically on every run.
+func TestRunShardedDeterministicUnderTies(t *testing.T) {
+	coll := tieHeavyCollection(t)
+	cfg := NewConfig()
+	cfg.PruneFraction = 0
+	cfg.Shards = 8
+
+	first, err := Run(cfg, coll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Pairs) == 0 {
+		t.Fatal("tie-heavy collection produced no pairs")
+	}
+	mono := cfg
+	mono.Shards = 0
+	base, err := Run(mono, coll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base.Pairs, first.Pairs) {
+		t.Fatal("sharded tie-heavy Pairs diverge from monolithic")
+	}
+	for run := 0; run < 3; run++ {
+		again, err := Run(cfg, coll)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first.Pairs, again.Pairs) {
+			t.Fatalf("run %d: sharded Pairs not reproducible", run)
+		}
+		if !reflect.DeepEqual(first.PairScores, again.PairScores) {
+			t.Fatalf("run %d: sharded PairScores not reproducible", run)
+		}
+	}
+}
+
+// drainSpill collects a spill result's merged stream.
+func drainSpill(t *testing.T, res *Result) map[record.Pair]float64 {
+	t.Helper()
+	it, err := res.Spill.Iter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[record.Pair]float64)
+	for {
+		p, score, err := it.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[p] = score
+	}
+	return out
+}
+
+// TestRunSpillMatchesInMemory asserts the spilled candidate stream holds
+// exactly the pairs and max-combined scores of the unspilled run, for a
+// cap small enough to force many disk runs and a cap that never spills.
+func TestRunSpillMatchesInMemory(t *testing.T) {
+	g := smallItaly(t, 300)
+	want, err := Run(NewConfig(), g.Collection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Pairs) < 100 {
+		t.Fatalf("baseline too small to exercise spilling: %d pairs", len(want.Pairs))
+	}
+
+	for _, capEntries := range []int{32, 1 << 20} {
+		cfg := NewConfig()
+		cfg.SpillPairs = capEntries
+		cfg.SpillDir = t.TempDir()
+		cfg.Shards = 4 // spill and sharding compose
+		res, err := Run(cfg, g.Collection)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Pairs != nil || res.PairScores != nil || res.PairBlocks != nil {
+			t.Fatalf("cap=%d: spill run populated in-memory pair state", capEntries)
+		}
+		if capEntries == 32 && res.Spill.Stats().Runs == 0 {
+			t.Fatal("cap=32 never spilled; fixture too small")
+		}
+		got := drainSpill(t, res)
+		if len(got) != len(want.PairScores) {
+			t.Fatalf("cap=%d: %d pairs, want %d", capEntries, len(got), len(want.PairScores))
+		}
+		for p, score := range want.PairScores {
+			if got[p] != score {
+				t.Fatalf("cap=%d: pair %v score %v, want %v", capEntries, p, got[p], score)
+			}
+		}
+		if !reflect.DeepEqual(want.Covered, res.Covered) {
+			t.Fatalf("cap=%d: Covered diverges", capEntries)
+		}
+		if !reflect.DeepEqual(want.Blocks, res.Blocks) {
+			t.Fatalf("cap=%d: Blocks diverge", capEntries)
+		}
+		if err := res.Spill.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRunCorpusWithoutRecords asserts the default scorer never needs raw
+// records — the property the streaming pipeline's skeleton mode relies
+// on — while ExpertSim correctly refuses a record-free corpus.
+func TestRunCorpusWithoutRecords(t *testing.T) {
+	g := smallItaly(t, 200)
+	corpus := NewCorpus(g.Collection)
+	want, err := RunCorpus(NewConfig(), corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bare := &Corpus{Dict: corpus.Dict, Encoded: corpus.Encoded, BookIDs: corpus.BookIDs}
+	got, err := RunCorpus(NewConfig(), bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Pairs, got.Pairs) {
+		t.Fatal("record-free corpus changed Pairs")
+	}
+	if !reflect.DeepEqual(want.PairScores, got.PairScores) {
+		t.Fatal("record-free corpus changed PairScores")
+	}
+
+	expert := NewConfig()
+	expert.ExpertSim = true
+	expert.Geo = g.Gaz
+	if _, err := RunCorpus(expert, bare); err == nil {
+		t.Fatal("ExpertSim accepted a corpus without records")
+	}
+}
+
+// TestCorpusValidate pins the structural checks.
+func TestCorpusValidate(t *testing.T) {
+	g := smallItaly(t, 50)
+	corpus := NewCorpus(g.Collection)
+	if err := corpus.validate(); err != nil {
+		t.Fatalf("valid corpus rejected: %v", err)
+	}
+	bad := *corpus
+	bad.BookIDs = bad.BookIDs[:1]
+	if err := bad.validate(); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	bad = *corpus
+	bad.Dict = nil
+	if err := bad.validate(); err == nil {
+		t.Error("nil dictionary accepted")
+	}
+	bad = *corpus
+	bad.Records = bad.Records[:1]
+	if err := bad.validate(); err == nil {
+		t.Error("record misalignment accepted")
+	}
+}
+
+// TestShardOfStable pins the signature hash: values must not drift, or a
+// resumed pipeline would re-partition mid-run.
+func TestShardOfStable(t *testing.T) {
+	if s := shardOf([]int{1, 2, 3}, 8); s != shardOf([]int{1, 2, 3}, 8) {
+		t.Fatal("shardOf not deterministic")
+	}
+	seen := make(map[int]bool)
+	for i := 0; i < 256; i++ {
+		s := shardOf([]int{i, i * 31}, 8)
+		if s < 0 || s >= 8 {
+			t.Fatalf("shard %d out of range", s)
+		}
+		seen[s] = true
+	}
+	if len(seen) < 8 {
+		t.Fatalf("only %d of 8 shards populated over 256 keys", len(seen))
+	}
+}
+
+// TestConfigValidateShardSpill extends the validation table to the new
+// knobs.
+func TestConfigValidateShardSpill(t *testing.T) {
+	cfg := NewConfig()
+	cfg.Shards = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative Shards accepted")
+	}
+	cfg = NewConfig()
+	cfg.SpillPairs = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative SpillPairs accepted")
+	}
+	cfg = NewConfig()
+	cfg.Shards = 8
+	cfg.SpillPairs = 1024
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("valid sharded spill config rejected: %v", err)
+	}
+}

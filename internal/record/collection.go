@@ -101,10 +101,16 @@ type Dictionary struct {
 	freq  []int
 }
 
+// NewDictionary returns an empty dictionary for incremental observation
+// (see Observe).
+func NewDictionary() *Dictionary {
+	return &Dictionary{ids: make(map[string]int)}
+}
+
 // BuildDictionary encodes a collection: it assigns each distinct item key a
 // dense id and counts its document frequency.
 func BuildDictionary(c *Collection) *Dictionary {
-	d := &Dictionary{ids: make(map[string]int)}
+	d := NewDictionary()
 	for _, r := range c.Records {
 		seen := make(map[int]struct{}, len(r.Items))
 		for _, it := range r.Items {
@@ -117,6 +123,29 @@ func BuildDictionary(c *Collection) *Dictionary {
 		}
 	}
 	return d
+}
+
+// Observe interns one record's items, counts its document frequencies,
+// and returns the record's encoded transaction — the incremental
+// equivalent of BuildDictionary over a collection followed by Encode per
+// record. Observing a record sequence in collection order yields the
+// identical dictionary (same ids, same frequencies) and identical
+// transactions, which is what lets a streaming ingest stage encode each
+// record the moment it arrives and then drop it.
+func (d *Dictionary) Observe(r *Record) []int {
+	seen := make(map[int]struct{}, len(r.Items))
+	ids := make([]int, 0, len(r.Items))
+	for _, it := range r.Items {
+		id := d.intern(it)
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		d.freq[id]++
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
 }
 
 func (d *Dictionary) intern(it Item) int {

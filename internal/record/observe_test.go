@@ -1,0 +1,59 @@
+package record
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestObserveMatchesBatch pins the incremental dictionary contract:
+// observing records one at a time in collection order yields the exact
+// dictionary (ids, keys, frequencies) and transactions that
+// BuildDictionary plus Encode produce — the equivalence the streaming
+// ingest stage rests on.
+func TestObserveMatchesBatch(t *testing.T) {
+	var records []*Record
+	for i := 0; i < 40; i++ {
+		r := &Record{BookID: int64(i + 1), Source: "list-1", Kind: List}
+		r.Add(FirstName, fmt.Sprintf("Name%d", i%7))
+		r.Add(LastName, fmt.Sprintf("Fam%d", i%3))
+		r.Add(BirthYear, fmt.Sprintf("%d", 1900+i%5))
+		if i%2 == 0 {
+			// Duplicate item value: Observe must count document frequency
+			// once per record, exactly as BuildDictionary does.
+			r.Add(FirstName, fmt.Sprintf("Name%d", i%7))
+		}
+		records = append(records, r)
+	}
+	coll, err := NewCollection(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	batch := BuildDictionary(coll)
+	inc := NewDictionary()
+	var incEncoded [][]int
+	for _, r := range coll.Records {
+		incEncoded = append(incEncoded, inc.Observe(r))
+	}
+
+	if batch.Len() != inc.Len() {
+		t.Fatalf("dictionary sizes diverge: %d vs %d", inc.Len(), batch.Len())
+	}
+	for id := 0; id < batch.Len(); id++ {
+		if batch.Key(id) != inc.Key(id) {
+			t.Fatalf("id %d: key %q vs %q", id, inc.Key(id), batch.Key(id))
+		}
+		if batch.Freq(id) != inc.Freq(id) {
+			t.Fatalf("id %d (%s): freq %d vs %d", id, batch.Key(id), inc.Freq(id), batch.Freq(id))
+		}
+		if batch.TypeOf(id) != inc.TypeOf(id) {
+			t.Fatalf("id %d: type diverges", id)
+		}
+	}
+	for i, r := range coll.Records {
+		if want := batch.Encode(r); !reflect.DeepEqual(want, incEncoded[i]) {
+			t.Fatalf("record %d: transaction %v vs %v", i, incEncoded[i], want)
+		}
+	}
+}

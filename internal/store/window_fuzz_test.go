@@ -1,0 +1,136 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+
+	"repro/internal/record"
+)
+
+// FuzzWindowReader drives the windowed reader over arbitrary store bytes —
+// valid stores, torn truncations at every boundary, and raw garbage — and
+// asserts the streaming contract: the reader never panics, a Recover
+// reader never reports an error other than io.EOF for pure tail damage,
+// and every record either reader delivers is canonical (it re-encodes to
+// the exact frame bytes the store carried). Window boundaries are
+// exercised by re-reading each input at several window sizes and requiring
+// identical outcomes.
+func FuzzWindowReader(f *testing.F) {
+	// Seed with a well-formed store, its truncations, and noise.
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	var ver [4]byte
+	binary.LittleEndian.PutUint32(ver[:], Version)
+	buf.Write(ver[:])
+	for i := 0; i < 3; i++ {
+		r := &record.Record{BookID: int64(i + 1), Source: "list-1", Kind: record.List}
+		r.Add(record.FirstName, "Guido")
+		r.Add(record.LastName, "Foa")
+		frame, err := encodeRecord(r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var fl [4]byte
+		binary.LittleEndian.PutUint32(fl[:], uint32(len(frame)))
+		buf.Write(fl[:])
+		buf.Write(frame)
+	}
+	valid := buf.Bytes()
+	f.Add(append([]byte(nil), valid...))
+	for _, cut := range []int{0, 7, 8, 9, 11, 12, len(valid) / 2, len(valid) - 1} {
+		if cut <= len(valid) {
+			f.Add(append([]byte(nil), valid[:cut]...))
+		}
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 32))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		type outcome struct {
+			records [][]byte // re-encoded frames, in order
+			torn    int64
+			errEOF  bool
+		}
+		read := func(window int, recoverTail bool) (outcome, bool) {
+			var opts []OpenOption
+			if recoverTail {
+				opts = append(opts, Recover)
+			}
+			w, err := NewWindowReader(bytes.NewReader(data), int64(len(data)), opts...)
+			if err != nil {
+				return outcome{}, false
+			}
+			var out outcome
+			var win []*record.Record
+			for {
+				win, err = w.Next(win, window)
+				for _, r := range win {
+					frame, encErr := encodeRecord(r)
+					if encErr != nil {
+						t.Fatalf("delivered record does not re-encode: %v", encErr)
+					}
+					out.records = append(out.records, frame)
+				}
+				if err != nil {
+					out.errEOF = err == io.EOF
+					if recoverTail && !out.errEOF {
+						// A Recover reader may fail only on content
+						// corruption; torn tails must end in io.EOF.
+						var tt *tornTailError
+						if ok := asTorn(err, &tt); ok {
+							t.Fatalf("recover reader surfaced torn tail: %v", err)
+						}
+					}
+					break
+				}
+			}
+			out.torn = w.TornBytes()
+			return out, true
+		}
+
+		first, ok := read(1, true)
+		if !ok {
+			// Header rejected: strict mode must reject identically.
+			if _, okStrict := read(1, false); okStrict {
+				t.Fatal("strict reader accepted a header the recover reader rejected")
+			}
+			return
+		}
+		// Window size must not change the outcome.
+		for _, window := range []int{3, 1 << 20} {
+			again, ok := read(window, true)
+			if !ok {
+				t.Fatal("reader accepted then rejected the same header")
+			}
+			if len(again.records) != len(first.records) || again.torn != first.torn || again.errEOF != first.errEOF {
+				t.Fatalf("window=%d changed the outcome: %d/%d records torn=%d/%d eof=%v/%v",
+					window, len(again.records), len(first.records), again.torn, first.torn, again.errEOF, first.errEOF)
+			}
+			for i := range again.records {
+				if !bytes.Equal(again.records[i], first.records[i]) {
+					t.Fatalf("window=%d record %d differs", window, i)
+				}
+			}
+		}
+		// Strict mode delivers the same records; it may only differ in the
+		// terminal error when the tail is torn.
+		strict, ok := read(5, false)
+		if !ok {
+			t.Fatal("strict reader rejected a header the recover reader accepted")
+		}
+		if len(strict.records) != len(first.records) {
+			t.Fatalf("strict delivered %d records, recover delivered %d", len(strict.records), len(first.records))
+		}
+	})
+}
+
+// asTorn reports whether err is a tornTailError, assigning it to target.
+func asTorn(err error, target **tornTailError) bool {
+	tt, ok := err.(*tornTailError)
+	if ok {
+		*target = tt
+	}
+	return ok
+}

@@ -1,0 +1,244 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/record"
+)
+
+// writeStore persists records and returns the path and raw bytes.
+func writeStore(t *testing.T, records []*record.Record) (string, []byte) {
+	t.Helper()
+	path := tmpPath(t)
+	if err := WriteAll(path, records); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, data
+}
+
+func genRecords(t *testing.T, persons int) []*record.Record {
+	t.Helper()
+	cfg := dataset.ItalyConfig()
+	cfg.Persons = persons
+	g, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Records
+}
+
+// TestWindowReaderMatchesAll asserts the windowed pass delivers exactly
+// what Store.All loads, in order, across several window sizes including
+// ones that do not divide the record count.
+func TestWindowReaderMatchesAll(t *testing.T) {
+	records := genRecords(t, 120)
+	path, _ := writeStore(t, records)
+
+	for _, win := range []int{1, 7, 64, 100000} {
+		w, err := OpenWindowReader(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []*record.Record
+		var buf []*record.Record
+		for {
+			buf, err = w.Next(buf, win)
+			got = append(got, buf...)
+			if err != nil {
+				break
+			}
+		}
+		if err != io.EOF {
+			t.Fatalf("window=%d: terminal error %v, want io.EOF", win, err)
+		}
+		if w.Count() != len(records) {
+			t.Fatalf("window=%d: Count=%d, want %d", win, w.Count(), len(records))
+		}
+		if len(got) != len(records) {
+			t.Fatalf("window=%d: got %d records, want %d", win, len(got), len(records))
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i], records[i]) {
+				t.Fatalf("window=%d: record %d differs", win, i)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestWindowReaderNextRecord asserts the one-at-a-time adapter sees the
+// same sequence as the window API.
+func TestWindowReaderNextRecord(t *testing.T) {
+	records := genRecords(t, 40)
+	path, _ := writeStore(t, records)
+	w, err := OpenWindowReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for i := range records {
+		r, err := w.NextRecord()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(r, records[i]) {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+	if _, err := w.NextRecord(); err != io.EOF {
+		t.Fatalf("after last record: %v, want io.EOF", err)
+	}
+}
+
+// TestWindowReaderTornTail covers both torn-tail modes at every truncation
+// point of the final frame: strict readers deliver the intact prefix then
+// fail with a torn-tail diagnostic; Recover readers stop cleanly at the
+// last whole frame and report the skipped bytes.
+func TestWindowReaderTornTail(t *testing.T) {
+	records := genRecords(t, 10)
+	_, data := writeStore(t, records)
+
+	// Find the offset of the final frame to truncate inside it.
+	s := openBytes(t, data)
+	offsets := make([]int64, 0, len(s.order))
+	for _, id := range s.order {
+		offsets = append(offsets, s.offsets[id])
+	}
+	s.Close()
+	lastFrame := offsets[len(offsets)-1]
+
+	for cut := lastFrame + 1; cut < int64(len(data)); cut += 3 {
+		torn := data[:cut]
+
+		// Strict: all whole frames, then the torn-tail error.
+		w, err := NewWindowReader(bytes.NewReader(torn), int64(len(torn)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, terminal := drain(w)
+		if n != len(records)-1 {
+			t.Fatalf("cut=%d strict: delivered %d, want %d", cut, n, len(records)-1)
+		}
+		var tt *tornTailError
+		if !errors.As(terminal, &tt) {
+			t.Fatalf("cut=%d strict: terminal error %v, want torn tail", cut, terminal)
+		}
+
+		// Recover: clean EOF at the last whole frame, torn bytes reported.
+		w, err = NewWindowReader(bytes.NewReader(torn), int64(len(torn)), Recover)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, terminal = drain(w)
+		if n != len(records)-1 || terminal != io.EOF {
+			t.Fatalf("cut=%d recover: delivered %d terminal %v", cut, n, terminal)
+		}
+		if want := cut - lastFrame; w.TornBytes() != want {
+			t.Fatalf("cut=%d recover: TornBytes=%d, want %d", cut, w.TornBytes(), want)
+		}
+	}
+}
+
+// TestWindowReaderRejectsCorruption mirrors TestOpenRejectsCorruption:
+// content corruption is an error in both modes — only tail truncation is
+// recoverable.
+func TestWindowReaderRejectsCorruption(t *testing.T) {
+	r := &record.Record{BookID: 1}
+	r.Add(record.FirstName, "Guido")
+	_, data := writeStore(t, []*record.Record{r})
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+		ctor   bool // expected to fail at construction
+	}{
+		{"bad magic", func(b []byte) []byte { b = append([]byte(nil), b...); b[0] = 'X'; return b }, true},
+		{"bad version", func(b []byte) []byte { b = append([]byte(nil), b...); b[4] = 99; return b }, true},
+		{"oversized frame length", func(b []byte) []byte {
+			b = append([]byte(nil), b...)
+			b[headerLen] = 0xFF
+			b[headerLen+1] = 0xFF
+			b[headerLen+2] = 0xFF
+			b[headerLen+3] = 0xFF
+			return b
+		}, false},
+		{"undecodable frame", func(b []byte) []byte {
+			b = append([]byte(nil), b...)
+			b[headerLen+4+8] = 0xFF // invalid record kind
+			return b
+		}, false},
+	}
+	for _, tc := range cases {
+		bad := tc.mutate(data)
+		for _, opts := range [][]OpenOption{nil, {Recover}} {
+			w, err := NewWindowReader(bytes.NewReader(bad), int64(len(bad)), opts...)
+			if tc.ctor {
+				if err == nil {
+					t.Errorf("%s: construction accepted corrupt store", tc.name)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%s: unexpected construction error %v", tc.name, err)
+			}
+			if _, terminal := drain(w); terminal == io.EOF || terminal == nil {
+				t.Errorf("%s (recover=%v): corruption not surfaced", tc.name, opts != nil)
+			}
+		}
+	}
+}
+
+// TestWindowReaderEmptyStore asserts a header-only store yields a clean
+// EOF.
+func TestWindowReaderEmptyStore(t *testing.T) {
+	path, _ := writeStore(t, nil)
+	w, err := OpenWindowReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if n, terminal := drain(w); n != 0 || terminal != io.EOF {
+		t.Fatalf("empty store: delivered %d terminal %v", n, terminal)
+	}
+}
+
+// drain consumes the reader and returns the record count and terminal
+// error.
+func drain(w *WindowReader) (int, error) {
+	n := 0
+	var buf []*record.Record
+	for {
+		out, err := w.Next(buf, 8)
+		n += len(out)
+		buf = out
+		if err != nil {
+			return n, err
+		}
+	}
+}
+
+// openBytes opens store bytes through a temp file with the full indexer.
+func openBytes(t *testing.T, data []byte) *Store {
+	t.Helper()
+	path := tmpPath(t)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
