@@ -20,7 +20,30 @@ import (
 	"repro/internal/record"
 	"repro/internal/spill"
 	"repro/internal/store"
+	"repro/internal/telemetry/trace"
 )
+
+// rowTracePath derives the per-row trace file from the -e2e-trace-out
+// base: multi-size runs suffix the record count before the extension so
+// rows don't clobber each other.
+func rowTracePath(base string, n int, multi bool) string {
+	if !multi {
+		return base
+	}
+	ext := filepath.Ext(base)
+	return strings.TrimSuffix(base, ext) + "-" + strconv.Itoa(n) + ext
+}
+
+// gitCommit stamps report rows with the short commit hash of the tree
+// the benchmark ran from; empty (and omitted from the JSON) outside a
+// git checkout or without git on PATH.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
 
 // e2eBenchSchemaVersion identifies the BENCH_e2e.json layout; bump on any
 // field removal or rename.
@@ -44,6 +67,8 @@ type e2eBenchRow struct {
 	Shards         int            `json:"shards"`
 	Workers        int            `json:"workers"`
 	GoMaxProcs     int            `json:"gomaxprocs"`
+	GoVersion      string         `json:"go_version"`
+	GitCommit      string         `json:"git_commit,omitempty"`
 	WallClockNS    int64          `json:"wall_clock_ns"`
 	RecordsPerSec  float64        `json:"records_per_sec"`
 	PeakRSSBytes   int64          `json:"peak_rss_bytes"`
@@ -64,6 +89,7 @@ type e2eStageSpan struct {
 type e2eChildResult struct {
 	Records        int            `json:"records"`
 	GoMaxProcs     int            `json:"gomaxprocs"`
+	GoVersion      string         `json:"go_version"`
 	CandidatePairs int            `json:"candidate_pairs"`
 	Matches        int            `json:"matches"`
 	SpillRuns      int            `json:"spill_runs"`
@@ -92,7 +118,7 @@ func e2eStreamOptions(shards, workers int) core.StreamOptions {
 // path through the sharded spilled pipeline and print the counters as
 // JSON. It runs in its own process so the parent can read the kernel's
 // peak-RSS accounting for exactly this work.
-func runE2EChild(path string, shards, workers int) error {
+func runE2EChild(path string, shards, workers int, traceOut string) error {
 	if workers > runtime.GOMAXPROCS(0) {
 		runtime.GOMAXPROCS(workers)
 	}
@@ -102,13 +128,31 @@ func runE2EChild(path string, shards, workers int) error {
 	}
 	defer src.Close()
 
-	res, err := core.RunStream(e2eStreamOptions(shards, workers), src)
+	opts := e2eStreamOptions(shards, workers)
+	if traceOut != "" {
+		opts.Trace = trace.New()
+		opts.Trace.StartSampler(0)
+	}
+	// Live progress on stderr (stdout carries the JSON result): stage,
+	// records/sec, shard completion, ETA, every few seconds.
+	opts.Progress = &trace.Progress{W: os.Stderr}
+	opts.Progress.Start()
+	res, err := core.RunStream(opts, src)
+	opts.Progress.Stop()
 	if err != nil {
 		return fmt.Errorf("bench-e2e child: %w", err)
+	}
+	if traceOut != "" {
+		opts.Trace.Sampler().Stop()
+		if err := opts.Trace.WriteChromeFile(traceOut); err != nil {
+			return fmt.Errorf("bench-e2e child: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "bench-e2e child: trace written to %s (%d spans)\n", traceOut, opts.Trace.Len())
 	}
 	out := e2eChildResult{
 		Records:    res.Report.Records,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
 		Matches:    len(res.Matches),
 	}
 	if res.Report.Scoring != nil {
@@ -160,7 +204,7 @@ func e2eCorpus(dir string, n int) (string, error) {
 // to path. maxRSSMB > 0 turns the report into a gate: any row whose
 // measured peak RSS exceeds the ceiling fails the run (the CI smoke
 // test's memory-boundedness check).
-func runE2EBench(path, recordsCSV string, shards, workers, maxRSSMB int) error {
+func runE2EBench(path, recordsCSV string, shards, workers, maxRSSMB int, traceOut string) error {
 	var sizes []int
 	for _, f := range strings.Split(recordsCSV, ",") {
 		f = strings.TrimSpace(f)
@@ -200,10 +244,15 @@ func runE2EBench(path, recordsCSV string, shards, workers, maxRSSMB int) error {
 		fmt.Printf("bench-e2e: running pipeline over %s (shards=%d workers=%d)...\n",
 			filepath.Base(corpus), shards, workers)
 
-		cmd := exec.Command(self,
+		args := []string{
 			"-e2e-child", corpus,
 			"-e2e-shards", strconv.Itoa(shards),
-			"-e2e-workers", strconv.Itoa(workers))
+			"-e2e-workers", strconv.Itoa(workers),
+		}
+		if traceOut != "" {
+			args = append(args, "-e2e-trace-out", rowTracePath(traceOut, n, len(sizes) > 1))
+		}
+		cmd := exec.Command(self, args...)
 		var stdout bytes.Buffer
 		cmd.Stdout = &stdout
 		cmd.Stderr = os.Stderr
@@ -229,6 +278,8 @@ func runE2EBench(path, recordsCSV string, shards, workers, maxRSSMB int) error {
 			Shards:         shards,
 			Workers:        workers,
 			GoMaxProcs:     child.GoMaxProcs,
+			GoVersion:      child.GoVersion,
+			GitCommit:      gitCommit(),
 			WallClockNS:    wall.Nanoseconds(),
 			RecordsPerSec:  float64(n) / wall.Seconds(),
 			PeakRSSBytes:   ru.Maxrss * 1024, // Linux reports KiB

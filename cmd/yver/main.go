@@ -7,7 +7,8 @@
 //
 //	yver -in records.jsonl [-ng 3.5] [-maxminsup 5] [-certainty 0.3]
 //	     [-samesrc] [-top 20] [-clusters] [-report out.json] [-v]
-//	     [-shards n] [-spill-pairs n] [-stream]
+//	     [-shards n] [-spill-pairs n] [-stream] [-trace-out t.json]
+//	     [-progress]
 //
 // -shards partitions block materialization by MFI-key signature and
 // -spill-pairs bounds the in-memory candidate window (overflow merges
@@ -15,7 +16,10 @@
 // -stream reads a .yvst store through the windowed reader and resolves
 // it with the bounded-memory streaming pipeline — records are encoded as
 // they arrive and dropped unless a flag (model, search, clusters) needs
-// their values.
+// their values. -trace-out records the run's span hierarchy and flight-
+// recorder series as Chrome trace-event JSON (load in Perfetto);
+// -progress prints a live status line (stage, rate, shards, ETA) to
+// stderr.
 package main
 
 import (
@@ -31,6 +35,7 @@ import (
 	"repro/internal/record"
 	"repro/internal/store"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 func main() {
@@ -49,6 +54,8 @@ func main() {
 	spillPairs := flag.Int("spill-pairs", 0, "spill candidate pairs to disk past this many in memory (0 = unbounded; -stream defaults to a bounded cap)")
 	stream := flag.Bool("stream", false, "stream a .yvst store through the bounded-memory pipeline instead of loading the whole corpus")
 	reportPath := flag.String("report", "", "write the run's telemetry report (JSON) to this file")
+	traceOut := flag.String("trace-out", "", "write the run's trace (Chrome trace-event JSON, Perfetto-loadable) to this file; enables tracing and the flight recorder")
+	progress := flag.Bool("progress", false, "print live progress (stage, records/sec, shard completion, ETA) to stderr")
 	verbose := flag.Bool("v", false, "debug logging (per-stage and per-iteration telemetry)")
 	flag.Parse()
 	telemetry.SetVerbose(*verbose)
@@ -90,6 +97,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *traceOut != "" {
+		opts.Trace = trace.New()
+		opts.Trace.StartSampler(0)
+	}
+	if *progress {
+		opts.Progress = &trace.Progress{W: os.Stderr}
+		opts.Progress.Start()
+	}
+
 	var res *core.Resolution
 	var err error
 	if *stream {
@@ -111,8 +127,18 @@ func main() {
 		}
 		res, err = core.Run(opts, coll)
 	}
+	opts.Progress.Stop()
 	if err != nil {
 		fatal(err)
+	}
+	if *traceOut != "" {
+		// Stop the flight recorder before exporting so its final sample
+		// (and the summary in the report) covers the whole run.
+		opts.Trace.Sampler().Stop()
+		if err := opts.Trace.WriteChromeFile(*traceOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s (%d spans)\n", *traceOut, opts.Trace.Len())
 	}
 	if *reportPath != "" {
 		if err := res.Report.WriteFile(*reportPath); err != nil {

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	yvserve -in records.jsonl [-model model.json] [-addr :8080]
-//	        [-max-inflight N] [-request-timeout D] [-drain D] [-pprof] [-v]
+//	        [-max-inflight N] [-request-timeout D] [-drain D] [-pprof]
+//	        [-trace] [-trace-out t.json] [-v]
 //
 // Then:
 //
@@ -14,6 +15,7 @@
 //	curl 'localhost:8080/api/narrative?book=1000042'
 //	curl 'localhost:8080/api/stats?certainty=0.5'
 //	curl 'localhost:8080/api/report'
+//	curl 'localhost:8080/api/trace'
 //	curl 'localhost:8080/metrics'
 package main
 
@@ -37,6 +39,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/store"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 func main() {
@@ -51,6 +54,8 @@ func main() {
 	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline, 503 on expiry (0 = none)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline on SIGINT/SIGTERM")
 	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	traceFlag := flag.Bool("trace", false, "trace the resolution run and serve it at /api/trace")
+	traceOut := flag.String("trace-out", "", "also write the resolution's trace (Chrome trace-event JSON) to this file; implies -trace")
 	verbose := flag.Bool("v", false, "debug logging (per-request and per-stage telemetry)")
 	flag.Parse()
 	telemetry.SetVerbose(*verbose)
@@ -96,12 +101,28 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *traceFlag || *traceOut != "" {
+		opts.Trace = trace.New()
+		opts.Trace.StartSampler(0)
+	}
+
 	fmt.Printf("resolving %d records...\n", coll.Len())
 	res, err := core.Run(opts, coll)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("resolved: %d ranked matches\n", len(res.Matches))
+	if opts.Trace != nil {
+		// The flight recorder covers the resolution, not the serving
+		// phase; stop it before export so /api/trace is stable.
+		opts.Trace.Sampler().Stop()
+	}
+	if *traceOut != "" {
+		if err := opts.Trace.WriteChromeFile(*traceOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s (%d spans)\n", *traceOut, opts.Trace.Len())
+	}
 
 	srv := server.New(res, coll)
 	srv.MaxInflight = *maxInflight

@@ -64,7 +64,7 @@ func BenchmarkScorePairs(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				cache := features.NewProfileCache(features.NewExtractor(opts.Geo))
-				st := scorePairs(&opts, bs.work, bs.blk, cache, workers, telemetry.NewRegistry())
+				st := scorePairs(&opts, bs.work, bs.blk, cache, workers, telemetry.NewRegistry(), nil)
 				if len(st.matches) == 0 {
 					b.Fatal("no matches scored")
 				}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/record"
 	"repro/internal/similarity"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 // Options configures a pipeline run.
@@ -68,6 +69,15 @@ type Options struct {
 	// (core_*, mfiblocks_*, fpgrowth_* families); nil falls back to
 	// telemetry.Default().
 	Metrics *telemetry.Registry
+	// Trace, when set, records the run's hierarchical span tree — run →
+	// stage → iteration/shard → worker — plus any flight-recorder series
+	// the caller started on it. The tree lands in Report.Spans and the
+	// tracer survives on Resolution.Trace for the Chrome export. Nil
+	// disables tracing at one nil check per span site.
+	Trace *trace.Tracer
+	// Progress, when set, receives live stage transitions, item counts,
+	// and shard completions. Callers own Start/Stop. Nil disables.
+	Progress *trace.Progress
 }
 
 // NewOptions returns the deployment defaults: preprocessing on, default
@@ -141,6 +151,11 @@ type Resolution struct {
 	// distribution. The server exposes it at /api/report; the CLIs
 	// write it with -report.
 	Report *telemetry.RunReport
+	// Trace is the run's tracer when Options.Trace was set: the full
+	// span record behind Report.Spans, exportable as Chrome trace-event
+	// JSON (the server's /api/trace, the CLIs' -trace-out). Nil when the
+	// run was untraced.
+	Trace *trace.Tracer
 
 	// model and profiles carry the scoring machinery into the query
 	// paths: ScorePair (and the server's /api/pair) re-score ad-hoc pairs
@@ -199,6 +214,12 @@ func wireDefaults(opts *Options, reg *telemetry.Registry) {
 		// blocking config pins its own count.
 		opts.Blocking.Workers = opts.Workers
 	}
+	if opts.Blocking.Progress == nil {
+		// One progress hook for the whole pipeline: the blocking stage
+		// posts covered-record counts and shard completions to the same
+		// sink the ingest and scoring stages use.
+		opts.Blocking.Progress = opts.Progress
+	}
 }
 
 // Run executes the pipeline, recording a per-stage telemetry breakdown
@@ -216,10 +237,16 @@ func Run(opts Options, coll *record.Collection) (*Resolution, error) {
 		Records:       coll.Len(),
 		Workers:       opts.workers(),
 	}
-	stages := newStageRunner(reg, report)
+	// The root span carries workload attributes only (no worker/shard
+	// counts): Canonical trees must be identical across fan-out
+	// configurations, and configuration already lives in the report.
+	root := opts.Trace.StartSpan(nil, "run", trace.WithKind(trace.KindRun)).
+		Attr("records", int64(coll.Len()))
+	stages := newStageRunner(reg, report, root)
 
 	work := coll
-	if err := stages.run("preprocess", func() (map[string]int64, error) {
+	if err := stages.run("preprocess", func(sp *trace.Span) (map[string]int64, error) {
+		opts.Progress.Stage("preprocess", int64(coll.Len()))
 		if opts.Preprocess {
 			gaz := opts.Gazetteer
 			if gaz == nil {
@@ -231,15 +258,18 @@ func Run(opts Options, coll *record.Collection) (*Resolution, error) {
 				return nil, fmt.Errorf("core: preprocess: %w", err)
 			}
 		}
+		opts.Progress.Add(int64(work.Len()))
 		return map[string]int64{"records": int64(work.Len())}, nil
 	}); err != nil {
 		return nil, err
 	}
 
 	var blk *mfiblocks.Result
-	if err := stages.run("blocking", func() (map[string]int64, error) {
+	if err := stages.run("blocking", func(sp *trace.Span) (map[string]int64, error) {
+		blocking := opts.Blocking
+		blocking.Trace = sp
 		var err error
-		blk, err = mfiblocks.Run(opts.Blocking, work)
+		blk, err = mfiblocks.Run(blocking, work)
 		if err != nil {
 			return nil, fmt.Errorf("core: blocking: %w", err)
 		}
@@ -266,9 +296,9 @@ func resolve(opts *Options, reg *telemetry.Registry, report *telemetry.RunReport
 	}
 
 	var st scoreResult
-	if err := stages.run("scoring", func() (map[string]int64, error) {
+	if err := stages.run("scoring", func(sp *trace.Span) (map[string]int64, error) {
 		var err error
-		st, err = runScoring(opts, work, blk, res.profiles, opts.workers(), reg)
+		st, err = runScoring(opts, work, blk, res.profiles, opts.workers(), reg, sp)
 		if err != nil {
 			return nil, fmt.Errorf("core: scoring: %w", err)
 		}
@@ -285,8 +315,10 @@ func resolve(opts *Options, reg *telemetry.Registry, report *telemetry.RunReport
 		return nil, err
 	}
 
-	if err := stages.run("rank", func() (map[string]int64, error) {
+	if err := stages.run("rank", func(sp *trace.Span) (map[string]int64, error) {
+		opts.Progress.Stage("rank", int64(len(res.Matches)))
 		sortMatches(res.Matches)
+		opts.Progress.Add(int64(len(res.Matches)))
 		return map[string]int64{"matches": int64(len(res.Matches))}, nil
 	}); err != nil {
 		return nil, err
@@ -295,7 +327,22 @@ func resolve(opts *Options, reg *telemetry.Registry, report *telemetry.RunReport
 	// A spilled run learns its exact candidate count only at the merge,
 	// so the blocking report is finalized after scoring.
 	report.Blocking.Pairs = st.candidates
+	if blk.Spill != nil {
+		// Stats stay valid after Close: runs, spilled entries/bytes, and
+		// what the scoring merge delivered back.
+		ss := blk.Spill.Stats()
+		report.Blocking.SpillRuns = ss.Runs
+		report.Blocking.SpilledEntries = ss.SpilledEntries
+		report.Blocking.SpilledBytes = ss.SpilledBytes
+		report.Blocking.MergedEntries = ss.MergedEntries
+		report.Blocking.MergedBytes = ss.MergedBytes
+	}
 	report.Scoring = scoringReport(&st, res.profiles, opts.workers())
+	stages.root.Attr("matches", int64(len(res.Matches))).End()
+	if opts.Trace != nil {
+		res.Trace = opts.Trace
+		report.Spans = opts.Trace.Tree(trace.Full)
+	}
 	reg.Counter("core_runs_total").Inc()
 	reg.Counter("core_candidate_pairs_total").Add(int64(st.candidates))
 	reg.Counter("core_matches_total").Add(int64(len(res.Matches)))
@@ -345,9 +392,11 @@ func blockingCounters(blk *mfiblocks.Result) map[string]int64 {
 // through its sorted merge. Both yield the same Matches after ranking —
 // sortMatches is a total order, so the pre-sort order difference between
 // first-seen and (A, B)-merged streams cannot survive it.
-func runScoring(opts *Options, work *record.Collection, blk *mfiblocks.Result, cache *features.ProfileCache, workers int, reg *telemetry.Registry) (scoreResult, error) {
+func runScoring(opts *Options, work *record.Collection, blk *mfiblocks.Result, cache *features.ProfileCache, workers int, reg *telemetry.Registry, sp *trace.Span) (scoreResult, error) {
 	if blk.Spill != nil {
-		st, err := scoreSpill(opts, work, blk, cache, workers, reg)
+		opts.Progress.Stage("scoring", 0) // distinct-pair total unknown until the merge
+		blk.Spill.Trace = sp              // merge-open span lands under the scoring stage
+		st, err := scoreSpill(opts, work, blk, cache, workers, reg, sp)
 		if err != nil {
 			return st, err
 		}
@@ -358,7 +407,8 @@ func runScoring(opts *Options, work *record.Collection, blk *mfiblocks.Result, c
 		}
 		return st, nil
 	}
-	st := scorePairs(opts, work, blk, cache, workers, reg)
+	opts.Progress.Stage("scoring", int64(len(blk.Pairs)))
+	st := scorePairs(opts, work, blk, cache, workers, reg, sp)
 	st.candidates = len(blk.Pairs)
 	return st, nil
 }
@@ -454,13 +504,18 @@ func sortMatches(ms []RankedMatch) {
 // pairs are scored on a chunked worker pool over cached record profiles,
 // with chunk-ordered merging so the output is identical to the serial
 // path for every worker count.
-func scorePairs(opts *Options, work *record.Collection, blk *mfiblocks.Result, cache *features.ProfileCache, workers int, reg *telemetry.Registry) scoreResult {
+func scorePairs(opts *Options, work *record.Collection, blk *mfiblocks.Result, cache *features.ProfileCache, workers int, reg *telemetry.Registry, sp *trace.Span) scoreResult {
 	if workers <= 1 || len(blk.Pairs) == 0 {
-		return scoreSerial(opts, work, blk, cache.Extractor())
+		st := scoreSerial(opts, work, blk, cache.Extractor())
+		opts.Progress.Add(int64(len(blk.Pairs)))
+		return st
 	}
 
 	t0 := time.Now()
+	psp := sp.Child("profile_build", trace.WithKind(trace.KindSetup)).
+		Attr("records", int64(work.Len()))
 	profs := cache.Build(work, workers)
+	psp.End()
 	reg.Timer("core_profile_build_seconds").Observe(time.Since(t0))
 
 	pairs := blk.Pairs
@@ -480,8 +535,10 @@ func scorePairs(opts *Options, work *record.Collection, blk *mfiblocks.Result, c
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			wsp := sp.Child("score_worker", trace.WithKind(trace.KindWorker), trace.WithTrack(w+1))
+			scored := int64(0)
 			ex := cache.Extractor()
 			local := telemetry.NewHistogram(telemetry.ScoreBuckets)
 			for {
@@ -518,9 +575,12 @@ func scorePairs(opts *Options, work *record.Collection, blk *mfiblocks.Result, c
 				chunkTimer.Observe(time.Since(tc))
 				chunkCounter.Inc()
 				pairCounter.Add(int64(hi - lo))
+				opts.Progress.Add(int64(hi - lo))
+				scored += int64(hi - lo)
 			}
 			scores.Merge(local)
-		}()
+			wsp.Attr("pairs", scored).End()
+		}(w)
 	}
 	wg.Wait()
 
@@ -548,7 +608,7 @@ func scorePairs(opts *Options, work *record.Collection, blk *mfiblocks.Result, c
 // from.
 func ScoreCandidates(opts Options, work *record.Collection, blk *mfiblocks.Result) []RankedMatch {
 	cache := features.NewProfileCache(newScoringExtractor(&opts))
-	st := scorePairs(&opts, work, blk, cache, opts.workers(), opts.metrics())
+	st := scorePairs(&opts, work, blk, cache, opts.workers(), opts.metrics(), nil)
 	sortMatches(st.matches)
 	return st.matches
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/record"
 	"repro/internal/spill"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 // RecordSource yields records one at a time; io.EOF ends the stream.
@@ -92,11 +93,16 @@ func RunStream(opts StreamOptions, src RecordSource) (*Resolution, error) {
 		SchemaVersion: telemetry.ReportSchemaVersion,
 		Workers:       opts.workers(),
 	}
-	stages := newStageRunner(reg, report)
+	// Workload attributes only — no worker/shard counts — so Canonical
+	// trees stay identical across fan-out configurations; records is
+	// attached once the ingest count is known.
+	root := opts.Trace.StartSpan(nil, "run", trace.WithKind(trace.KindRun))
+	stages := newStageRunner(reg, report, root)
 
 	corpus := &mfiblocks.Corpus{Dict: record.NewDictionary()}
 	var kept []*record.Record
-	if err := stages.run("ingest", func() (map[string]int64, error) {
+	if err := stages.run("ingest", func(sp *trace.Span) (map[string]int64, error) {
+		opts.Progress.Stage("ingest", 0)
 		gaz := opts.Gazetteer
 		if gaz == nil {
 			gaz = gazetteer.Builtin(0)
@@ -122,6 +128,13 @@ func RunStream(opts StreamOptions, src RecordSource) (*Resolution, error) {
 				// everything blocking needs.
 				kept = append(kept, &record.Record{BookID: r.BookID, Source: r.Source, Kind: r.Kind})
 			}
+			opts.Progress.Add(1)
+		}
+		// A windowed store reader knows how many bytes of torn tail it
+		// skipped; surface that in the report without coupling core to
+		// the store package.
+		if tr, ok := src.(interface{ TornBytes() int64 }); ok {
+			report.TornBytes = tr.TornBytes()
 		}
 		return map[string]int64{"records": int64(len(kept))}, nil
 	}); err != nil {
@@ -133,14 +146,17 @@ func RunStream(opts StreamOptions, src RecordSource) (*Resolution, error) {
 		return nil, fmt.Errorf("core: ingest: %w", err)
 	}
 	report.Records = work.Len()
+	root.Attr("records", int64(work.Len()))
 	if opts.RetainRecords {
 		corpus.Records = work.Records
 	}
 
 	var blk *mfiblocks.Result
-	if err := stages.run("blocking", func() (map[string]int64, error) {
+	if err := stages.run("blocking", func(sp *trace.Span) (map[string]int64, error) {
+		blocking := opts.Blocking
+		blocking.Trace = sp
 		var err error
-		blk, err = mfiblocks.RunCorpus(opts.Blocking, corpus)
+		blk, err = mfiblocks.RunCorpus(blocking, corpus)
 		if err != nil {
 			return nil, fmt.Errorf("core: blocking: %w", err)
 		}
@@ -166,7 +182,7 @@ type pairScore struct {
 // pre-sort match order differs from scorePairs' first-seen order, but
 // sortMatches is a total order over (score, pair), so the ranked output
 // is identical.
-func scoreSpill(opts *Options, work *record.Collection, blk *mfiblocks.Result, cache *features.ProfileCache, workers int, reg *telemetry.Registry) (scoreResult, error) {
+func scoreSpill(opts *Options, work *record.Collection, blk *mfiblocks.Result, cache *features.ProfileCache, workers int, reg *telemetry.Registry, sp *trace.Span) (scoreResult, error) {
 	it, err := blk.Spill.Iter()
 	if err != nil {
 		return scoreResult{}, err
@@ -207,6 +223,7 @@ func scoreSpill(opts *Options, work *record.Collection, blk *mfiblocks.Result, c
 			}
 			total.candidates++
 			scoreOne(&total, pairScore{p, score})
+			opts.Progress.Add(1)
 		}
 		pairCounter.Add(int64(total.candidates))
 		return total, nil
@@ -217,8 +234,10 @@ func scoreSpill(opts *Options, work *record.Collection, blk *mfiblocks.Result, c
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			wsp := sp.Child("score_worker", trace.WithKind(trace.KindWorker), trace.WithTrack(w+1))
+			scored := int64(0)
 			local := scoreResult{scores: telemetry.NewHistogram(telemetry.ScoreBuckets)}
 			for chunk := range jobs {
 				tc := time.Now()
@@ -229,7 +248,10 @@ func scoreSpill(opts *Options, work *record.Collection, blk *mfiblocks.Result, c
 				chunkTimer.Observe(time.Since(tc))
 				chunkCounter.Inc()
 				pairCounter.Add(int64(len(chunk)))
+				opts.Progress.Add(int64(len(chunk)))
+				scored += int64(len(chunk))
 			}
+			wsp.Attr("pairs", scored).End()
 			mu.Lock()
 			total.matches = append(total.matches, local.matches...)
 			total.sameSrc += local.sameSrc
@@ -237,7 +259,7 @@ func scoreSpill(opts *Options, work *record.Collection, blk *mfiblocks.Result, c
 			total.chunks += local.chunks
 			total.scores.Merge(local.scores)
 			mu.Unlock()
-		}()
+		}(w)
 	}
 
 	var readErr error

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 // Itemset is one mined itemset with its support count.
@@ -47,6 +48,11 @@ type Miner struct {
 	// Metrics, when set, receives tree-build and mining timings plus
 	// mined-itemset counts (fpgrowth_* families). Nil disables.
 	Metrics *telemetry.Registry
+	// Trace, when set, parents the per-call tree-build/mine spans and
+	// the per-worker fan-out spans. Callers that mine repeatedly (the
+	// MFIBlocks minsup loop) re-point it at each iteration's span; nil
+	// traces nothing.
+	Trace *trace.Span
 	// Workers bounds the goroutines MineMaximal fans the top-level header
 	// items out to: 0 means GOMAXPROCS, 1 runs the exact serial path. The
 	// mined MFIs are bit-identical for every worker count.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 // MineMaximal returns only the maximal frequent itemsets: frequent itemsets
@@ -37,9 +38,13 @@ func (m *Miner) mineMaximal(minsup int, active []int, freq []int) []Itemset {
 		minsup = 1
 	}
 	t0 := time.Now()
+	tsp := m.Trace.Child("tree_build", trace.WithKind(trace.KindOp))
 	tree, order := m.buildFlatTree(minsup, active, freq)
+	tsp.Attr("nodes", int64(len(tree.item)-1)).Attr("items", int64(len(order))).End()
 	m.Metrics.Timer(telemetry.FamilyFPGrowthTreeBuild).Observe(time.Since(t0))
 	t1 := time.Now()
+	msp := m.Trace.Child("mine", trace.WithKind(trace.KindOp)).Attr("minsup", int64(minsup))
+	defer msp.End()
 
 	// Top-level header items deepest-first (descending structural rank):
 	// an item's conditional tree only contains items processed after it in
@@ -83,12 +88,14 @@ func (m *Miner) mineMaximal(minsup int, active []int, freq []int) []Itemset {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				wsp := msp.Child("mine_worker", trace.WithKind(trace.KindWorker), trace.WithTrack(w+1))
 				ctx := newMineCtx(order, minsup)
 				ctx.store = newMFIStore()
 				for i := w; i < len(top); i += workers {
 					ctx.mineTopItem(tree, top[i])
 				}
 				stores[w] = ctx.store
+				wsp.Attr("sets", int64(len(ctx.store.sets))).End()
 			}(w)
 		}
 		wg.Wait()
@@ -121,6 +128,7 @@ func (m *Miner) mineMaximal(minsup int, active []int, freq []int) []Itemset {
 	})
 	m.Metrics.Timer(telemetry.FamilyFPGrowthMine).Observe(time.Since(t1))
 	m.Metrics.Counter("fpgrowth_mfis_total").Add(int64(len(out)))
+	msp.Attr("mfis", int64(len(out)))
 	return out
 }
 

@@ -14,6 +14,7 @@ import (
 	"repro/internal/record"
 	"repro/internal/similarity"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 // Config parameterizes a run. NewConfig supplies the defaults used across
@@ -73,6 +74,12 @@ type Config struct {
 	// Metrics receives blocking-stage counters and timings (mfiblocks_*
 	// and fpgrowth_* families); nil falls back to telemetry.Default().
 	Metrics *telemetry.Registry
+	// Trace, when set, parents the blocking stage's per-iteration,
+	// per-shard, and miner spans. Nil traces nothing.
+	Trace *trace.Span
+	// Progress, when set, receives live item counts and shard
+	// completions from the minsup loop. Nil disables.
+	Progress *trace.Progress
 }
 
 // NewConfig returns the defaults the paper's Italy experiments settle on:

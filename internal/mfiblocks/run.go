@@ -14,6 +14,7 @@ import (
 	"repro/internal/record"
 	"repro/internal/spill"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 // Result is the outcome of a run: the surviving soft blocks, the candidate
@@ -104,6 +105,7 @@ func RunCorpus(cfg Config, corpus *Corpus) (*Result, error) {
 	var sink *spill.Pairs
 	if cfg.SpillPairs > 0 {
 		sink = spill.NewPairs(cfg.SpillPairs, cfg.SpillDir)
+		sink.Trace = cfg.Trace
 		res.Spill = sink
 	} else {
 		res.PairScores = make(map[record.Pair]float64)
@@ -126,8 +128,12 @@ func RunCorpus(cfg Config, corpus *Corpus) (*Result, error) {
 		}
 	}
 
+	cfg.Progress.Stage("blocking", int64(n))
+	cfg.Progress.Add(int64(coveredCount))
 	for minsup := cfg.MaxMinSup; minsup >= 2 && coveredCount < n; minsup-- {
 		iterStart := time.Now()
+		iterSpan := cfg.Trace.Child("iteration", trace.WithKind(trace.KindIteration)).
+			Attr("minsup", int64(minsup))
 		// MFIs are mined over the still-uncovered records (Algorithm 1,
 		// line 6), but FindSupport materializes each block over the whole
 		// database: a covered record may still join a new block — only
@@ -139,8 +145,9 @@ func RunCorpus(cfg Config, corpus *Corpus) (*Result, error) {
 			}
 		}
 
+		miner.Trace = iterSpan
 		mfis := miner.MineMaximalFreq(minsup, active, freq)
-		blocks, csPruned := buildBlocksSharded(&cfg, sc, index, mfis, minsup, reg)
+		blocks, csPruned := buildBlocksSharded(&cfg, sc, index, mfis, minsup, reg, iterSpan)
 
 		// Enforce the sparse-neighborhood condition for this iteration:
 		// every record admits blocks best-first while its distinct
@@ -149,6 +156,7 @@ func RunCorpus(cfg Config, corpus *Corpus) (*Result, error) {
 		kept, iterTh, ngPruned := enforceNG(&cfg, blocks, spent)
 		minTh = math.Max(minTh, iterTh)
 
+		prevCovered := coveredCount
 		stats := IterationStats{MinSup: minsup, Active: len(active), MFIs: len(mfis), MinTh: iterTh, CSPruned: csPruned, NGPruned: ngPruned}
 		for _, b := range kept {
 			stats.Blocks++
@@ -194,6 +202,14 @@ func RunCorpus(cfg Config, corpus *Corpus) (*Result, error) {
 		stats.CoveredNow = coveredCount
 		stats.Elapsed = time.Since(iterStart)
 		res.Iterations = append(res.Iterations, stats)
+		cfg.Progress.Add(int64(coveredCount - prevCovered))
+		iterSpan.Attr("active", int64(stats.Active)).
+			Attr("mfis", int64(stats.MFIs)).
+			Attr("blocks", int64(stats.Blocks)).
+			Attr("new_pairs", int64(stats.NewPairs)).
+			Attr("cs_pruned", int64(stats.CSPruned)).
+			Attr("ng_pruned", int64(stats.NGPruned)).
+			End()
 
 		reg.Counter("mfiblocks_iterations_total").Inc()
 		reg.Counter("mfiblocks_mfis_total").Add(int64(stats.MFIs))
@@ -299,9 +315,17 @@ func shardOf(key []int, shards int) int {
 // is plain concatenation because enforceNG re-sorts every iteration's
 // blocks under a total order, making the downstream outcome independent
 // of block arrival order. Shards <= 1 takes the direct path.
-func buildBlocksSharded(cfg *Config, sc *scorer, index *fpgrowth.Index, mfis []fpgrowth.Itemset, minsup int, reg *telemetry.Registry) ([]*Block, int) {
+func buildBlocksSharded(cfg *Config, sc *scorer, index *fpgrowth.Index, mfis []fpgrowth.Itemset, minsup int, reg *telemetry.Registry, parent *trace.Span) ([]*Block, int) {
+	// The build_blocks op span exists for every shard count (shard spans
+	// nest under it): Canonical trees prune the KindShard children, so a
+	// sharded and an unsharded run canonicalize identically.
+	bsp := parent.Child("build_blocks", trace.WithKind(trace.KindOp)).
+		Attr("mfis", int64(len(mfis)))
+	defer bsp.End()
 	if cfg.Shards <= 1 {
-		return buildBlocks(cfg, sc, index, mfis, minsup)
+		blocks, csPruned := buildBlocks(cfg, sc, index, mfis, minsup)
+		bsp.Attr("blocks", int64(len(blocks)))
+		return blocks, csPruned
 	}
 	parts := make([][]fpgrowth.Itemset, cfg.Shards)
 	for _, m := range mfis {
@@ -310,16 +334,27 @@ func buildBlocksSharded(cfg *Config, sc *scorer, index *fpgrowth.Index, mfis []f
 	}
 	var blocks []*Block
 	csPruned := 0
+	done := 0
+	cfg.Progress.Shards(0, len(parts))
 	for si, part := range parts {
 		if len(part) == 0 {
+			done++
+			cfg.Progress.Shards(done, len(parts))
 			continue
 		}
 		t0 := time.Now()
+		sp := bsp.Child("shard", trace.WithKind(trace.KindShard)).
+			Attr("shard", int64(si)).
+			Attr("mfis", int64(len(part)))
 		b, pruned := buildBlocks(cfg, sc, index, part, minsup)
+		sp.Attr("blocks", int64(len(b))).End()
 		blocks = append(blocks, b...)
 		csPruned += pruned
+		done++
+		cfg.Progress.Shards(done, len(parts))
 		reg.Timer("mfiblocks_shard_seconds", telemetry.L("shard", strconv.Itoa(si))).Observe(time.Since(t0))
 	}
+	bsp.Attr("blocks", int64(len(blocks)))
 	return blocks, csPruned
 }
 

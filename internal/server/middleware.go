@@ -89,6 +89,21 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, rep)
 }
 
+// handleTrace serves the last run's trace as Chrome trace-event JSON —
+// the same bytes -trace-out writes, fetchable for Perfetto without
+// shell access to the serving host.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tr := s.res.Trace
+	if tr == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("run was not traced (start yvserve with -trace)"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := tr.WriteChrome(w); err != nil {
+		telemetry.Log().Warn("trace render failed", "err", err)
+	}
+}
+
 // EnablePprof mounts net/http/pprof under /debug/pprof/ — opt-in (the
 // yvserve -pprof flag) because profiles expose internals that have no
 // place on a public deployment surface.

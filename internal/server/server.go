@@ -12,6 +12,7 @@
 //	GET /api/pair?a=1016196&b=1016197            re-score one report pair
 //	GET /api/stats                               collection statistics
 //	GET /api/report                              the pipeline's RunReport
+//	GET /api/trace                               the run's Chrome trace-event JSON
 //	GET /metrics                                 Prometheus text format
 //
 // Every handler runs behind an instrumentation middleware recording
@@ -82,6 +83,7 @@ func New(res *core.Resolution, coll *record.Collection) *Server {
 	s.mux.HandleFunc("GET /api/pair", s.handler("/api/pair", s.handlePair))
 	s.mux.HandleFunc("GET /api/stats", s.handler("/api/stats", s.handleStats))
 	s.mux.HandleFunc("GET /api/report", s.handler("/api/report", s.handleReport))
+	s.mux.HandleFunc("GET /api/trace", s.handler("/api/trace", s.handleTrace))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	// Unmatched paths get a JSON 404 (and land in the middleware's
 	// counters) instead of net/http's plain-text default.

@@ -1,0 +1,84 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/mfiblocks"
+	"repro/internal/telemetry/trace"
+)
+
+// TestMetricsContentType pins the scrape contract: Prometheus requires
+// the text exposition format to be served as text/plain with the
+// version parameter.
+func TestMetricsContentType(t *testing.T) {
+	s, _, _ := testServer(t)
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", rec.Code)
+	}
+	want := "text/plain; version=0.0.4; charset=utf-8"
+	if got := rec.Header().Get("Content-Type"); got != want {
+		t.Fatalf("Content-Type = %q, want %q", got, want)
+	}
+}
+
+// TestTraceNotTraced pins the untraced default: /api/trace is a 404
+// that tells the operator how to enable it, not an empty export.
+func TestTraceNotTraced(t *testing.T) {
+	s, _, _ := testServer(t)
+	get(t, s, "/api/trace", http.StatusNotFound)
+}
+
+// TestTraceEndpoint runs a traced resolution and pins the endpoint: the
+// Chrome trace-event JSON served at /api/trace is the same export
+// -trace-out writes — valid JSON, non-empty, span events present.
+func TestTraceEndpoint(t *testing.T) {
+	cfg := dataset.ItalyConfig()
+	cfg.Persons = 100
+	g, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.Options{Blocking: mfiblocks.NewConfig(), Geo: g.Gaz, Preprocess: true, Gazetteer: g.Gaz}
+	opts.Trace = trace.New()
+	res, err := core.Run(opts, g.Collection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(res, g.Collection)
+
+	req := httptest.NewRequest(http.MethodGet, "/api/trace", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /api/trace = %d (%s)", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("Content-Type"); got != "application/json" {
+		t.Fatalf("Content-Type = %q", got)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var run bool
+	for _, e := range out.TraceEvents {
+		if e.Ph == "X" && e.Name == "run" {
+			run = true
+		}
+	}
+	if !run {
+		t.Fatalf("trace has no run span (%d events)", len(out.TraceEvents))
+	}
+}

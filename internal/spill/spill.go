@@ -26,6 +26,7 @@ import (
 	"sort"
 
 	"repro/internal/record"
+	"repro/internal/telemetry/trace"
 )
 
 // entryLen is the on-disk size of one (pair, score) entry.
@@ -46,6 +47,11 @@ type Stats struct {
 	SpilledEntries int64
 	// SpilledBytes counts bytes written across all runs.
 	SpilledBytes int64
+	// MergedEntries counts the distinct pairs the merge iterator has
+	// delivered back to the consumer.
+	MergedEntries int64
+	// MergedBytes is the on-disk byte equivalent of MergedEntries.
+	MergedBytes int64
 }
 
 // Pairs accumulates (pair, score) events under a bounded in-memory
@@ -58,6 +64,11 @@ type Pairs struct {
 	runs  []*os.File
 	stats Stats
 	done  bool
+
+	// Trace, when set, parents a span per run flush and one for the
+	// merge setup — the disk activity of a spilled run, on the
+	// blocking stage's timeline. Nil traces nothing.
+	Trace *trace.Span
 }
 
 // NewPairs returns an accumulator holding at most capEntries distinct
@@ -105,6 +116,11 @@ func (s *Pairs) flush() error {
 	if len(s.mem) == 0 {
 		return nil
 	}
+	sp := s.Trace.Child("spill_flush").
+		Attr("run", int64(s.stats.Runs)).
+		Attr("entries", int64(len(s.mem))).
+		Attr("bytes", int64(len(s.mem))*entryLen)
+	defer sp.End()
 	keys := make([]record.Pair, 0, len(s.mem))
 	for p := range s.mem {
 		keys = append(keys, p)
@@ -150,6 +166,10 @@ func (s *Pairs) flush() error {
 // score observed across all events. Add must not be called afterwards.
 func (s *Pairs) Iter() (*Iter, error) {
 	s.done = true
+	sp := s.Trace.Child("spill_merge_open").
+		Attr("runs", int64(s.stats.Runs)).
+		Attr("window_entries", int64(len(s.mem)))
+	defer sp.End()
 	it := &Iter{pairs: s}
 
 	// The live window joins the merge as an in-memory sorted source.
@@ -290,6 +310,8 @@ func (it *Iter) Next() (record.Pair, float64, error) {
 		}
 	}
 	it.count++
+	it.pairs.stats.MergedEntries++
+	it.pairs.stats.MergedBytes += entryLen
 	return p, score, nil
 }
 

@@ -102,6 +102,93 @@ func TestLabelEscaping(t *testing.T) {
 	}
 }
 
+// unescapeLabel is the scrape-side inverse of escapeLabel, per the
+// Prometheus text-format rules: \\, \n, and \" are the only escapes.
+func unescapeLabel(t *testing.T, v string) string {
+	t.Helper()
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		if v[i] != '\\' {
+			b.WriteByte(v[i])
+			continue
+		}
+		i++
+		if i >= len(v) {
+			t.Fatalf("dangling backslash in %q", v)
+		}
+		switch v[i] {
+		case '\\':
+			b.WriteByte('\\')
+		case 'n':
+			b.WriteByte('\n')
+		case '"':
+			b.WriteByte('"')
+		default:
+			t.Fatalf("unknown escape \\%c in %q", v[i], v)
+		}
+	}
+	return b.String()
+}
+
+// TestLabelEscapingRoundTrip pins the full escape cycle: every
+// adversarial label value must survive render → parse → unescape
+// unchanged, or a scraper would record a different label than the one
+// the pipeline emitted.
+func TestLabelEscapingRoundTrip(t *testing.T) {
+	values := []string{
+		`plain`,
+		`a"b`,
+		`back\slash`,
+		"line\nbreak",
+		`mixed \" of \\ everything` + "\n" + `even "quoted\nfake" escapes`,
+		`trailing backslash \`,
+		"\n\n",
+		`\\n`, // literal backslash-backslash-n, not an escape sequence
+	}
+	for _, v := range values {
+		if got := unescapeLabel(t, escapeLabel(v)); got != v {
+			t.Errorf("round trip of %q = %q", v, got)
+		}
+	}
+
+	// And through the full exposition pipeline: render a counter with the
+	// adversarial value, extract the quoted label back out of the text,
+	// unescape, compare.
+	for i, v := range values {
+		r := NewRegistry()
+		name := "rt_" + strconv.Itoa(i) + "_total"
+		r.Counter(name, L("q", v)).Inc()
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		text := sb.String()
+		start := strings.Index(text, name+`{q="`)
+		if start < 0 {
+			t.Fatalf("series for %q missing:\n%s", v, text)
+		}
+		raw := text[start+len(name)+4:]
+		// The value ends at the first unescaped quote.
+		end := -1
+		for j := 0; j < len(raw); j++ {
+			if raw[j] == '\\' {
+				j++
+				continue
+			}
+			if raw[j] == '"' {
+				end = j
+				break
+			}
+		}
+		if end < 0 {
+			t.Fatalf("unterminated label value for %q:\n%s", v, text)
+		}
+		if got := unescapeLabel(t, raw[:end]); got != v {
+			t.Errorf("exposition round trip of %q = %q", v, got)
+		}
+	}
+}
+
 func TestSnapshotJSONKeys(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("a_total").Inc()

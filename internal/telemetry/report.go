@@ -5,6 +5,8 @@ import (
 	"io"
 	"os"
 	"time"
+
+	"repro/internal/telemetry/trace"
 )
 
 // ReportSchemaVersion identifies the RunReport JSON layout; bump it on
@@ -18,13 +20,21 @@ const ReportSchemaVersion = 1
 // Stage order is the execution order (preprocess, blocking, scoring,
 // rank) and is stable across runs — golden tests key on it.
 type RunReport struct {
-	SchemaVersion int             `json:"schema_version"`
-	Records       int             `json:"records"`
-	Workers       int             `json:"workers"`
-	TotalNS       int64           `json:"total_ns"`
-	Stages        []StageReport   `json:"stages"`
-	Blocking      *BlockingReport `json:"blocking,omitempty"`
-	Scoring       *ScoringReport  `json:"scoring,omitempty"`
+	SchemaVersion int `json:"schema_version"`
+	Records       int `json:"records"`
+	Workers       int `json:"workers"`
+	// TornBytes is the byte count of the torn tail a streaming run's
+	// windowed reader skipped (store.WindowReader.TornBytes); zero for
+	// batch runs and intact stores.
+	TornBytes int64           `json:"torn_bytes,omitempty"`
+	TotalNS   int64           `json:"total_ns"`
+	Stages    []StageReport   `json:"stages"`
+	Blocking  *BlockingReport `json:"blocking,omitempty"`
+	Scoring   *ScoringReport  `json:"scoring,omitempty"`
+	// Spans is the run's hierarchical trace (its own schema version,
+	// trace.TreeSchemaVersion), present when the run was traced. The
+	// flight recorder's summary rides inside it.
+	Spans *trace.SpanTree `json:"spans,omitempty"`
 }
 
 // StageReport is one pipeline stage's wall clock and counters.
@@ -34,12 +44,21 @@ type StageReport struct {
 	Counters   map[string]int64 `json:"counters,omitempty"`
 }
 
-// BlockingReport is the MFIBlocks stage breakdown.
+// BlockingReport is the MFIBlocks stage breakdown. The Spill* fields
+// describe the disk-spilled candidate accumulator when spilling was
+// enabled (streaming runs): sorted runs written, entries and bytes
+// spilled, and the distinct entries/bytes the scoring stage's k-way
+// merge delivered back.
 type BlockingReport struct {
-	Iterations []IterationReport `json:"iterations"`
-	Blocks     int               `json:"blocks"`
-	Pairs      int               `json:"pairs"`
-	Covered    int               `json:"covered"`
+	Iterations     []IterationReport `json:"iterations"`
+	Blocks         int               `json:"blocks"`
+	Pairs          int               `json:"pairs"`
+	Covered        int               `json:"covered"`
+	SpillRuns      int               `json:"spill_runs,omitempty"`
+	SpilledEntries int64             `json:"spilled_entries,omitempty"`
+	SpilledBytes   int64             `json:"spilled_bytes,omitempty"`
+	MergedEntries  int64             `json:"merged_entries,omitempty"`
+	MergedBytes    int64             `json:"merged_bytes,omitempty"`
 }
 
 // IterationReport is one minsup level of the MFIBlocks loop.
@@ -120,6 +139,7 @@ func (r *RunReport) StripTimings() {
 			r.Blocking.Iterations[i].DurationNS = 0
 		}
 	}
+	r.Spans.StripTimings()
 }
 
 // WriteJSON writes the report, indented, to w.

@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format ("JSON
+// Object Format" with a traceEvents array), the subset Perfetto and
+// chrome://tracing both load: complete events ("X") for spans, counter
+// events ("C") for flight-recorder series, and metadata ("M") naming
+// the tracks.
+type chromeEvent struct {
+	Name string           `json:"name"`
+	Ph   string           `json:"ph"`
+	Ts   float64          `json:"ts"` // microseconds
+	Dur  float64          `json:"dur,omitempty"`
+	Pid  int              `json:"pid"`
+	Tid  int              `json:"tid"`
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+type chromeMeta struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+// chromeTrace is the top-level export object.
+type chromeTrace struct {
+	TraceEvents     []json.RawMessage `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+}
+
+const chromePid = 1
+
+// WriteChrome renders the trace — spans as complete events on their
+// tracks, flight-recorder samples as counter series — as Chrome
+// trace-event JSON. Events are emitted in ascending timestamp order
+// (ties broken by track and name), so consumers that stream the file
+// see a monotonic timeline. Load the output in Perfetto
+// (ui.perfetto.dev) or chrome://tracing.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ms"}`+"\n")
+		return err
+	}
+
+	type ordered struct {
+		ts    float64
+		tid   int
+		name  string
+		seq   int
+		event any
+	}
+	var events []ordered
+	tracks := map[int]bool{}
+	for i, s := range t.spans() {
+		ev := chromeEvent{
+			Name: s.name,
+			Ph:   "X",
+			Ts:   float64(s.start) / 1e3,
+			Dur:  float64(s.endOrNow()-s.start) / 1e3,
+			Pid:  chromePid,
+			Tid:  int(s.track),
+		}
+		if len(s.attrs) > 0 {
+			ev.Args = make(map[string]int64, len(s.attrs))
+			for _, a := range s.attrs {
+				ev.Args[a.Key] = a.Value
+			}
+		}
+		tracks[ev.Tid] = true
+		events = append(events, ordered{ts: ev.Ts, tid: ev.Tid, name: ev.Name, seq: i, event: ev})
+	}
+	if smp := t.sampler.Load(); smp != nil {
+		for i, s := range smp.Samples() {
+			ts := float64(s.AtNS) / 1e3
+			for _, c := range []struct {
+				name string
+				key  string
+				v    int64
+			}{
+				{"heap_bytes", "bytes", s.HeapBytes},
+				{"rss_bytes", "bytes", s.RSSBytes},
+				{"goroutines", "count", s.Goroutines},
+				{"gc_pause_total_ns", "ns", s.GCPauseNS},
+			} {
+				events = append(events, ordered{ts: ts, tid: samplerTrack, name: c.name, seq: i, event: chromeEvent{
+					Name: c.name, Ph: "C", Ts: ts, Pid: chromePid, Tid: samplerTrack,
+					Args: map[string]int64{c.key: c.v},
+				}})
+			}
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.ts != b.ts {
+			return a.ts < b.ts
+		}
+		if a.tid != b.tid {
+			return a.tid < b.tid
+		}
+		if a.name != b.name {
+			return a.name < b.name
+		}
+		return a.seq < b.seq
+	})
+
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: make([]json.RawMessage, 0, len(events)+len(tracks)+2)}
+	appendEvent := func(v any) error {
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		out.TraceEvents = append(out.TraceEvents, raw)
+		return nil
+	}
+	// Track names first (metadata events are timestamp-less).
+	if err := appendEvent(chromeMeta{Name: "process_name", Ph: "M", Pid: chromePid, Tid: 0,
+		Args: map[string]string{"name": "pipeline"}}); err != nil {
+		return err
+	}
+	trackIDs := make([]int, 0, len(tracks))
+	for tid := range tracks {
+		trackIDs = append(trackIDs, tid)
+	}
+	sort.Ints(trackIDs)
+	for _, tid := range trackIDs {
+		name := "pipeline"
+		if tid > 0 && tid < samplerTrack {
+			name = fmt.Sprintf("worker %d", tid-1)
+		}
+		if err := appendEvent(chromeMeta{Name: "thread_name", Ph: "M", Pid: chromePid, Tid: tid,
+			Args: map[string]string{"name": name}}); err != nil {
+			return err
+		}
+	}
+	for _, e := range events {
+		if err := appendEvent(e.event); err != nil {
+			return err
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&out)
+}
+
+// WriteChromeFile writes the Chrome trace-event export to path (the
+// CLIs' -trace-out flag).
+func (t *Tracer) WriteChromeFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// samplerTrack is the Chrome tid the flight recorder's counter series
+// land on — far above any plausible worker fan-out so the lanes never
+// collide.
+const samplerTrack = 1 << 16

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSamplerRecords pins the flight recorder's basic contract: it
+// samples at start and stop (so even sub-interval runs record), the
+// series is chronological, and every sample carries live runtime
+// readings.
+func TestSamplerRecords(t *testing.T) {
+	tr := New()
+	smp := tr.StartSampler(5 * time.Millisecond)
+	time.Sleep(25 * time.Millisecond)
+	smp.Stop()
+
+	samples := smp.Samples()
+	if len(samples) < 2 {
+		t.Fatalf("samples = %d, want >= 2 (start + stop)", len(samples))
+	}
+	last := int64(-1)
+	for i, s := range samples {
+		if s.AtNS < last {
+			t.Fatalf("sample %d out of order: %d after %d", i, s.AtNS, last)
+		}
+		last = s.AtNS
+		if s.HeapBytes <= 0 || s.Goroutines <= 0 {
+			t.Fatalf("sample %d has no runtime readings: %+v", i, s)
+		}
+	}
+	if tr.Sampler() != smp {
+		t.Fatal("tracer lost its sampler")
+	}
+}
+
+// TestSamplerSummary pins the report condensation: counts, peaks, and
+// medians derived from the recorded window.
+func TestSamplerSummary(t *testing.T) {
+	tr := New()
+	smp := tr.StartSampler(time.Hour) // only the start and stop samples
+	smp.Stop()
+	sum := smp.Summary()
+	if sum.IntervalNS != int64(time.Hour) {
+		t.Fatalf("interval = %d", sum.IntervalNS)
+	}
+	if sum.Samples < 2 || sum.Retained != int(sum.Samples) {
+		t.Fatalf("accounting = %+v", sum)
+	}
+	if sum.PeakHeapBytes <= 0 || sum.P50HeapBytes <= 0 || sum.P50HeapBytes > sum.PeakHeapBytes {
+		t.Fatalf("heap stats = %+v", sum)
+	}
+	if sum.PeakGoroutines <= 0 {
+		t.Fatalf("goroutine peak = %+v", sum)
+	}
+}
+
+// TestSamplerStopIdempotent pins double-Stop safety — the CLIs stop the
+// sampler before export and again on teardown.
+func TestSamplerStopIdempotent(t *testing.T) {
+	tr := New()
+	smp := tr.StartSampler(time.Hour)
+	smp.Stop()
+	smp.Stop() // must not panic or deadlock
+}
+
+// TestSamplerInTree pins that a run with a sampler embeds its summary
+// in the Full tree export and drops it from the Canonical one.
+func TestSamplerInTree(t *testing.T) {
+	tr := New()
+	tr.StartSpan(nil, "run", WithKind(KindRun)).End()
+	tr.StartSampler(time.Hour).Stop()
+	if tree := tr.Tree(Full); tree.Sampler == nil || tree.Sampler.Samples < 2 {
+		t.Fatalf("Full tree sampler = %+v", tree.Sampler)
+	}
+	if tree := tr.Tree(Canonical); tree.Sampler != nil {
+		t.Fatal("Canonical tree kept the sampler")
+	}
+}
