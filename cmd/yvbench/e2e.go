@@ -65,6 +65,7 @@ type e2eBenchReport struct {
 type e2eBenchRow struct {
 	Records        int            `json:"records"`
 	Shards         int            `json:"shards"`
+	MineShards     int            `json:"mine_shards"`
 	Workers        int            `json:"workers"`
 	GoMaxProcs     int            `json:"gomaxprocs"`
 	GoVersion      string         `json:"go_version"`
@@ -100,7 +101,7 @@ type e2eChildResult struct {
 // e2eStreamOptions is the one pipeline configuration both the child and
 // any in-process caller run: the bounded-memory streaming defaults over
 // the random-set gazetteer.
-func e2eStreamOptions(shards, workers int) core.StreamOptions {
+func e2eStreamOptions(shards, mineShards, workers int) core.StreamOptions {
 	opts := core.StreamOptions{Options: core.Options{
 		Blocking:   mfiblocks.NewConfig(),
 		Preprocess: true,
@@ -110,15 +111,26 @@ func e2eStreamOptions(shards, workers int) core.StreamOptions {
 	}}
 	opts.Blocking.Workers = workers
 	opts.Blocking.Shards = shards
+	opts.Blocking.MineShards = mineShards
 	opts.Blocking.SpillPairs = spill.DefaultCap
 	return opts
+}
+
+// maxrssBytes converts getrusage's Maxrss to bytes: Linux reports KiB,
+// darwin reports bytes. A hardcoded *1024 inflated darwin peaks (and any
+// local -e2e-max-rss-mb gate) 1024×.
+func maxrssBytes(maxrss int64) int64 {
+	if runtime.GOOS == "darwin" {
+		return maxrss
+	}
+	return maxrss * 1024
 }
 
 // runE2EChild is the measured half of -bench-e2e: stream the .yvst at
 // path through the sharded spilled pipeline and print the counters as
 // JSON. It runs in its own process so the parent can read the kernel's
 // peak-RSS accounting for exactly this work.
-func runE2EChild(path string, shards, workers int, traceOut string) error {
+func runE2EChild(path string, shards, mineShards, workers int, traceOut string) error {
 	if workers > runtime.GOMAXPROCS(0) {
 		runtime.GOMAXPROCS(workers)
 	}
@@ -128,7 +140,7 @@ func runE2EChild(path string, shards, workers int, traceOut string) error {
 	}
 	defer src.Close()
 
-	opts := e2eStreamOptions(shards, workers)
+	opts := e2eStreamOptions(shards, mineShards, workers)
 	if traceOut != "" {
 		opts.Trace = trace.New()
 		opts.Trace.StartSampler(0)
@@ -204,7 +216,7 @@ func e2eCorpus(dir string, n int) (string, error) {
 // to path. maxRSSMB > 0 turns the report into a gate: any row whose
 // measured peak RSS exceeds the ceiling fails the run (the CI smoke
 // test's memory-boundedness check).
-func runE2EBench(path, recordsCSV string, shards, workers, maxRSSMB int, traceOut string) error {
+func runE2EBench(path, recordsCSV string, shards, mineShards, workers, maxRSSMB int, traceOut string) error {
 	var sizes []int
 	for _, f := range strings.Split(recordsCSV, ",") {
 		f = strings.TrimSpace(f)
@@ -241,12 +253,13 @@ func runE2EBench(path, recordsCSV string, shards, workers, maxRSSMB int, traceOu
 		if err != nil {
 			return err
 		}
-		fmt.Printf("bench-e2e: running pipeline over %s (shards=%d workers=%d)...\n",
-			filepath.Base(corpus), shards, workers)
+		fmt.Printf("bench-e2e: running pipeline over %s (shards=%d mine-shards=%d workers=%d)...\n",
+			filepath.Base(corpus), shards, mineShards, workers)
 
 		args := []string{
 			"-e2e-child", corpus,
 			"-e2e-shards", strconv.Itoa(shards),
+			"-e2e-mine-shards", strconv.Itoa(mineShards),
 			"-e2e-workers", strconv.Itoa(workers),
 		}
 		if traceOut != "" {
@@ -276,13 +289,14 @@ func runE2EBench(path, recordsCSV string, shards, workers, maxRSSMB int, traceOu
 		row := e2eBenchRow{
 			Records:        n,
 			Shards:         shards,
+			MineShards:     mineShards,
 			Workers:        workers,
 			GoMaxProcs:     child.GoMaxProcs,
 			GoVersion:      child.GoVersion,
 			GitCommit:      gitCommit(),
 			WallClockNS:    wall.Nanoseconds(),
 			RecordsPerSec:  float64(n) / wall.Seconds(),
-			PeakRSSBytes:   ru.Maxrss * 1024, // Linux reports KiB
+			PeakRSSBytes:   maxrssBytes(ru.Maxrss),
 			CandidatePairs: child.CandidatePairs,
 			Matches:        child.Matches,
 			SpillRuns:      child.SpillRuns,
@@ -290,6 +304,11 @@ func runE2EBench(path, recordsCSV string, shards, workers, maxRSSMB int, traceOu
 			Stages:         child.Stages,
 		}
 		report.Rows = append(report.Rows, row)
+		// Persist after every row: a paper-scale suite runs for hours, and
+		// an external kill mid-row must not lose the rows already measured.
+		if err := writeE2EReport(path, &report); err != nil {
+			return err
+		}
 		fmt.Printf("bench-e2e: %d records in %v (%.0f rec/s, peak RSS %d MiB, %d candidates, %d matches)\n",
 			n, wall.Round(time.Millisecond), row.RecordsPerSec, row.PeakRSSBytes>>20,
 			row.CandidatePairs, row.Matches)
@@ -298,8 +317,14 @@ func runE2EBench(path, recordsCSV string, shards, workers, maxRSSMB int, traceOu
 				n, row.PeakRSSBytes>>20, maxRSSMB)
 		}
 	}
+	fmt.Printf("e2e benchmark report written to %s\n", path)
+	return nil
+}
 
-	data, err := json.MarshalIndent(&report, "", "  ")
+// writeE2EReport validates and writes the report's current rows to
+// path, overwriting any previous (shorter) snapshot.
+func writeE2EReport(path string, report *e2eBenchReport) error {
+	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return fmt.Errorf("bench-e2e: marshal: %w", err)
 	}
@@ -311,7 +336,7 @@ func runE2EBench(path, recordsCSV string, shards, workers, maxRSSMB int, traceOu
 	if err := json.Unmarshal(data, &check); err != nil {
 		return fmt.Errorf("bench-e2e: emitted JSON does not round-trip: %w", err)
 	}
-	if check.SchemaVersion != e2eBenchSchemaVersion || len(check.Rows) != len(sizes) {
+	if check.SchemaVersion != e2eBenchSchemaVersion || len(check.Rows) != len(report.Rows) {
 		return fmt.Errorf("bench-e2e: emitted report failed validation")
 	}
 	for _, r := range check.Rows {
@@ -323,6 +348,5 @@ func runE2EBench(path, recordsCSV string, shards, workers, maxRSSMB int, traceOu
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return fmt.Errorf("bench-e2e: %w", err)
 	}
-	fmt.Printf("e2e benchmark report written to %s\n", path)
 	return nil
 }

@@ -5,7 +5,7 @@
 //	yvbench [-scale quick|full] [-list] [-report out.json] [-v] [exp ...]
 //	yvbench -bench-blocking out.json
 //	yvbench -bench-scoring out.json
-//	yvbench -bench-e2e out.json [-e2e-records 100000,1000000] [-e2e-shards n] [-e2e-workers n] [-e2e-max-rss-mb n] [-e2e-trace-out t.json]
+//	yvbench -bench-e2e out.json [-e2e-records 100000,1000000] [-e2e-shards n] [-e2e-mine-shards n] [-e2e-workers n] [-e2e-max-rss-mb n] [-e2e-trace-out t.json]
 //
 // With no experiment ids, every experiment runs in paper order. Use -list
 // to enumerate the available ids. -report writes the accumulated
@@ -44,6 +44,7 @@ func main() {
 	benchE2E := flag.String("bench-e2e", "", "benchmark the streaming pipeline end-to-end and write the JSON report to this file, then exit")
 	e2eRecords := flag.String("e2e-records", "100000,1000000", "comma-separated corpus sizes (records) for -bench-e2e")
 	e2eShards := flag.Int("e2e-shards", 8, "blocking shards for -bench-e2e rows")
+	e2eMineShards := flag.Int("e2e-mine-shards", 8, "shard-local MFI miners for -bench-e2e rows (0 or 1 = one mining pass)")
 	e2eWorkers := flag.Int("e2e-workers", 8, "pipeline workers for -bench-e2e rows")
 	e2eMaxRSSMB := flag.Int("e2e-max-rss-mb", 0, "fail -bench-e2e if any row's peak RSS exceeds this many MiB (0 = no ceiling)")
 	e2eTraceOut := flag.String("e2e-trace-out", "", "write each -bench-e2e row's trace (Chrome trace-event JSON) to this file (multi-size runs suffix the record count)")
@@ -53,14 +54,14 @@ func main() {
 	telemetry.SetVerbose(*verbose)
 
 	if *e2eChild != "" {
-		if err := runE2EChild(*e2eChild, *e2eShards, *e2eWorkers, *e2eTraceOut); err != nil {
+		if err := runE2EChild(*e2eChild, *e2eShards, *e2eMineShards, *e2eWorkers, *e2eTraceOut); err != nil {
 			fmt.Fprintf(os.Stderr, "yvbench: %v\n", err)
 			os.Exit(1)
 		}
 		return
 	}
 	if *benchE2E != "" {
-		if err := runE2EBench(*benchE2E, *e2eRecords, *e2eShards, *e2eWorkers, *e2eMaxRSSMB, *e2eTraceOut); err != nil {
+		if err := runE2EBench(*benchE2E, *e2eRecords, *e2eShards, *e2eMineShards, *e2eWorkers, *e2eMaxRSSMB, *e2eTraceOut); err != nil {
 			fmt.Fprintf(os.Stderr, "yvbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -7,12 +7,16 @@
 //
 //	yver -in records.jsonl [-ng 3.5] [-maxminsup 5] [-certainty 0.3]
 //	     [-samesrc] [-top 20] [-clusters] [-report out.json] [-v]
-//	     [-shards n] [-spill-pairs n] [-stream] [-trace-out t.json]
-//	     [-progress]
+//	     [-shards n] [-mine-shards n] [-spill-pairs n] [-stream]
+//	     [-trace-out t.json] [-progress]
 //
-// -shards partitions block materialization by MFI-key signature and
-// -spill-pairs bounds the in-memory candidate window (overflow merges
-// through sorted disk runs); both leave the ranked output bit-identical.
+// -shards partitions block materialization by MFI-key signature,
+// -mine-shards splits MFI mining itself into shard-local miners over
+// rank ranges of one shared FP-tree (a cross-shard maximality merge
+// keeps the result exact), and -spill-pairs bounds the in-memory
+// candidate window
+// (overflow merges through sorted disk runs); all three leave the
+// ranked output bit-identical.
 // -stream reads a .yvst store through the windowed reader and resolves
 // it with the bounded-memory streaming pipeline — records are encoded as
 // they arrive and dropped unless a flag (model, search, clusters) needs
@@ -51,6 +55,7 @@ func main() {
 	modelPath := flag.String("model", "", "trained ADTree model (from yvtrain); enables classification")
 	workers := flag.Int("workers", 0, "blocking and pair-scoring workers (0 = GOMAXPROCS, 1 = serial)")
 	shards := flag.Int("shards", 0, "signature-partitioned blocking shards (0 or 1 = monolithic; output is bit-identical)")
+	mineShards := flag.Int("mine-shards", 0, "shard-local MFI miners over rank ranges (0 or 1 = one mining pass; output is bit-identical)")
 	spillPairs := flag.Int("spill-pairs", 0, "spill candidate pairs to disk past this many in memory (0 = unbounded; -stream defaults to a bounded cap)")
 	stream := flag.Bool("stream", false, "stream a .yvst store through the bounded-memory pipeline instead of loading the whole corpus")
 	reportPath := flag.String("report", "", "write the run's telemetry report (JSON) to this file")
@@ -69,6 +74,7 @@ func main() {
 	bc.NG = *ng
 	bc.MaxMinSup = *maxMinSup
 	bc.Shards = *shards
+	bc.MineShards = *mineShards
 	bc.SpillPairs = *spillPairs
 	opts := core.Options{
 		Blocking:   bc,

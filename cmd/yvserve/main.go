@@ -49,6 +49,7 @@ func main() {
 	ng := flag.Float64("ng", 3.5, "neighborhood growth parameter")
 	workers := flag.Int("workers", 0, "blocking and pair-scoring workers (0 = GOMAXPROCS, 1 = serial)")
 	shards := flag.Int("shards", 0, "signature-partitioned blocking shards (0 or 1 = monolithic; output is bit-identical)")
+	mineShards := flag.Int("mine-shards", 0, "shard-local MFI miners over rank ranges (0 or 1 = one mining pass; output is bit-identical)")
 	spillPairs := flag.Int("spill-pairs", 0, "spill candidate pairs to disk past this many in memory during resolution (0 = unbounded)")
 	maxInflight := flag.Int("max-inflight", 256, "max concurrent requests before shedding with 503 (0 = unlimited)")
 	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline, 503 on expiry (0 = none)")
@@ -76,6 +77,7 @@ func main() {
 	bc := mfiblocks.NewConfig()
 	bc.NG = *ng
 	bc.Shards = *shards
+	bc.MineShards = *mineShards
 	bc.SpillPairs = *spillPairs
 	opts := core.Options{
 		Blocking:   bc,

@@ -55,10 +55,12 @@ func assertResolutionsMatch(t *testing.T, label string, want, got *Resolution) {
 
 // TestStreamShardEquivalence is the harness the tentpole is locked down
 // by: the streaming sharded pipeline — windowless ingest, signature-
-// sharded block materialization, disk-spilled candidates, skeleton
-// records — must reproduce the monolithic batch Run bit-for-bit across
-// the shards × workers matrix on multiple seeds. The spill cap is forced
-// tiny so every cell actually exercises the disk-merge path.
+// sharded block materialization, shard-local MFI mining, disk-spilled
+// candidates, skeleton records — must reproduce the monolithic batch
+// Run bit-for-bit across the shards × mining-shards × workers matrix on
+// multiple seeds. The spill cap is forced tiny so every cell actually
+// exercises the disk-merge path (and, since spilling enables the async
+// emitter, the overlapped emission path too).
 func TestStreamShardEquivalence(t *testing.T) {
 	datasets := []struct {
 		persons int
@@ -80,20 +82,23 @@ func TestStreamShardEquivalence(t *testing.T) {
 
 		for _, shards := range []int{1, 2, 8} {
 			for _, workers := range []int{1, 8} {
-				label := fmt.Sprintf("seed=%d shards=%d workers=%d", d.seed, shards, workers)
-				opts := StreamOptions{Options: base}
-				opts.Workers = workers
-				opts.Blocking.Shards = shards
-				opts.Blocking.SpillPairs = 64
-				opts.Blocking.SpillDir = t.TempDir()
-				got, err := RunStream(opts, NewCollectionSource(g.Collection))
-				if err != nil {
-					t.Fatalf("%s: %v", label, err)
+				for _, mineShards := range []int{1, 4, 8} {
+					label := fmt.Sprintf("seed=%d shards=%d mineShards=%d workers=%d", d.seed, shards, mineShards, workers)
+					opts := StreamOptions{Options: base}
+					opts.Workers = workers
+					opts.Blocking.Shards = shards
+					opts.Blocking.MineShards = mineShards
+					opts.Blocking.SpillPairs = 64
+					opts.Blocking.SpillDir = t.TempDir()
+					got, err := RunStream(opts, NewCollectionSource(g.Collection))
+					if err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+					if got.Blocking.Spill.Stats().Runs == 0 {
+						t.Fatalf("%s: spill cap 64 never spilled; harness is not exercising the merge", label)
+					}
+					assertResolutionsMatch(t, label, want, got)
 				}
-				if got.Blocking.Spill.Stats().Runs == 0 {
-					t.Fatalf("%s: spill cap 64 never spilled; harness is not exercising the merge", label)
-				}
-				assertResolutionsMatch(t, label, want, got)
 			}
 		}
 	}
@@ -172,6 +177,7 @@ func TestStreamDeterministicUnderShardBoundaryTies(t *testing.T) {
 	for run := 0; run < 3; run++ {
 		opts := StreamOptions{Options: base}
 		opts.Blocking.Shards = 8
+		opts.Blocking.MineShards = 4
 		opts.Blocking.SpillPairs = 16
 		opts.Blocking.SpillDir = t.TempDir()
 		got, err := RunStream(opts, NewCollectionSource(coll))
@@ -240,6 +246,7 @@ func TestStreamFromStore(t *testing.T) {
 
 	opts := StreamOptions{Options: base}
 	opts.Blocking.Shards = 2
+	opts.Blocking.MineShards = 2
 	opts.Blocking.SpillPairs = 64
 	opts.Blocking.SpillDir = t.TempDir()
 	got, err := RunStream(opts, src)

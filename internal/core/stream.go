@@ -118,8 +118,7 @@ func RunStream(opts StreamOptions, src RecordSource) (*Resolution, error) {
 			if opts.Preprocess {
 				r = preprocessRecord(r, gaz)
 			}
-			corpus.Encoded = append(corpus.Encoded, corpus.Dict.Observe(r))
-			corpus.BookIDs = append(corpus.BookIDs, r.BookID)
+			corpus.Append(corpus.Dict.Observe(r), r.BookID)
 			if opts.RetainRecords {
 				kept = append(kept, r)
 			} else {

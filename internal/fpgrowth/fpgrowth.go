@@ -40,8 +40,8 @@ func (s Itemset) String() string {
 
 // Miner mines frequent itemsets from a fixed transaction database.
 type Miner struct {
-	transactions [][]int
-	maxItem      int // largest item id seen; -1 when empty
+	txns    *Transactions
+	maxItem int // largest item id seen; -1 when empty
 	// Pruned items are excluded from mining entirely (the paper prunes
 	// the most frequent .03% of items).
 	pruned []bool
@@ -57,23 +57,35 @@ type Miner struct {
 	// items out to: 0 means GOMAXPROCS, 1 runs the exact serial path. The
 	// mined MFIs are bit-identical for every worker count.
 	Workers int
+	// Shards, when > 1, splits maximal mining into that many shard-local
+	// FP-trees over contiguous structural-rank ranges instead of one
+	// monolithic tree: each shard's tree holds only the transaction
+	// prefixes its owned items need, so peak tree memory is the largest
+	// shard rather than the whole database. The cross-shard merge
+	// (FilterMaximal over the concatenated shard stores) restores global
+	// maximality, and the mined MFIs are bit-identical for every shard
+	// count. 0 or 1 mines the single global tree.
+	Shards int
+	// SelfVerify, when set, lazily recounts every merged MFI's support
+	// against the inverted index after a sharded mine and panics on any
+	// divergence — the audit knob the shard-merge test harness turns on.
+	// It builds (and caches) an Index on first use; leave it off in
+	// production runs.
+	SelfVerify bool
+	vIndex     *Index
 }
 
 // NewMiner builds a miner over the transactions. Each transaction must be
 // a set (no duplicate ids) of non-negative item ids; order is irrelevant.
 func NewMiner(transactions [][]int) *Miner {
-	maxItem := -1
-	for _, txn := range transactions {
-		for _, it := range txn {
-			if it < 0 {
-				panic(fmt.Sprintf("fpgrowth: negative item id %d", it))
-			}
-			if it > maxItem {
-				maxItem = it
-			}
-		}
-	}
-	return &Miner{transactions: transactions, maxItem: maxItem}
+	return NewMinerTxns(FromSlices(transactions))
+}
+
+// NewMinerTxns builds a miner directly over an arena-form database,
+// sharing it with the caller — the zero-copy entry point for streaming
+// callers that assemble the arena incrementally.
+func NewMinerTxns(txns *Transactions) *Miner {
+	return &Miner{txns: txns, maxItem: txns.MaxItem()}
 }
 
 // Prune excludes the given item ids from all subsequent mining.
@@ -133,17 +145,17 @@ func (m *Miner) TreeStats(minsup int, active []int) (nodes, items int) {
 	return len(tree.item) - 1, len(order)
 }
 
-// buildFlatTree constructs the initial FP-tree over frequent items only,
-// with items ordered by descending frequency, and returns it together with
-// the rank -> item-id order (lower rank = closer to the root on every
-// path). When freq is non-nil it must hold the per-item-id occurrence
-// counts over the active transactions, sparing the counting pass — the
-// incremental path mfiblocks.Run maintains across its minsup iterations.
-func (m *Miner) buildFlatTree(minsup int, active []int, freq []int) (*flatTree, []int) {
-	counts := freq
+// frequentOrder computes the per-item occurrence counts over the active
+// transactions (adopting freq when the caller maintains them
+// incrementally), the descending-frequency rank order of the frequent
+// unpruned items, and the item-id → rank table. It is the shared front
+// half of both the monolithic and the shard-local tree builds: the rank
+// order is a global property, so every shard tree agrees on it.
+func (m *Miner) frequentOrder(minsup int, active []int, freq []int) (counts, order []int, rankOf []int32, totalOccurrences int) {
+	counts = freq
 	if counts == nil {
 		counts = make([]int, m.maxItem+1)
-		forEachActive(m.transactions, active, func(txn []int) {
+		m.txns.forEachActive(active, func(txn []int32) {
 			for _, it := range txn {
 				counts[it]++
 			}
@@ -153,8 +165,7 @@ func (m *Miner) buildFlatTree(minsup int, active []int, freq []int) (*flatTree, 
 	if limit > len(counts) {
 		limit = len(counts)
 	}
-	order := make([]int, 0, limit)
-	totalOccurrences := 0
+	order = make([]int, 0, limit)
 	for it := 0; it < limit; it++ {
 		if counts[it] >= minsup && !m.isPruned(it) {
 			order = append(order, it)
@@ -169,17 +180,36 @@ func (m *Miner) buildFlatTree(minsup int, active []int, freq []int) (*flatTree, 
 		}
 		return order[i] < order[j]
 	})
-	rankOf := make([]int32, m.maxItem+1)
+	rankOf = make([]int32, m.maxItem+1)
 	for i := range rankOf {
 		rankOf[i] = -1
 	}
 	for r, it := range order {
 		rankOf[it] = int32(r)
 	}
+	return counts, order, rankOf, totalOccurrences
+}
 
-	tree := newFlatTree(len(order), totalOccurrences)
+// buildFlatTree constructs the initial FP-tree over frequent items only,
+// with items ordered by descending frequency, and returns it together with
+// the rank -> item-id order (lower rank = closer to the root on every
+// path). When freq is non-nil it must hold the per-item-id occurrence
+// counts over the active transactions, sparing the counting pass — the
+// incremental path mfiblocks.Run maintains across its minsup iterations.
+func (m *Miner) buildFlatTree(minsup int, active []int, freq []int) (*flatTree, []int) {
+	_, order, rankOf, totalOccurrences := m.frequentOrder(minsup, active, freq)
+	return m.projectTree(active, rankOf, len(order), totalOccurrences), order
+}
+
+// projectTree inserts every active transaction's frequent-rank projection
+// into a fresh tree over the whole rank universe [0, nRanks). Both the
+// monolithic and the shard-local miners mine this one tree: conditional
+// mining for a top-level rank only ever descends into ranks below it, so
+// the tree doubles as every shard's prefix-closed projection at once.
+func (m *Miner) projectTree(active []int, rankOf []int32, nRanks, nodeCap int) *flatTree {
+	tree := newFlatTree(nRanks, nodeCap)
 	buf := make([]int32, 0, 32)
-	forEachActive(m.transactions, active, func(txn []int) {
+	m.txns.forEachActive(active, func(txn []int32) {
 		buf = buf[:0]
 		for _, it := range txn {
 			if r := rankOf[it]; r >= 0 {
@@ -194,7 +224,7 @@ func (m *Miner) buildFlatTree(minsup int, active []int, freq []int) (*flatTree, 
 		sortInt32(buf)
 		tree.insertPath(buf, 1)
 	})
-	return tree, order
+	return tree
 }
 
 // sortInt32 sorts small rank buffers ascending. Insertion sort beats the
@@ -204,18 +234,6 @@ func sortInt32(a []int32) {
 		for j := i; j > 0 && a[j] < a[j-1]; j-- {
 			a[j], a[j-1] = a[j-1], a[j]
 		}
-	}
-}
-
-func forEachActive(txns [][]int, active []int, fn func([]int)) {
-	if active == nil {
-		for _, t := range txns {
-			fn(t)
-		}
-		return
-	}
-	for _, i := range active {
-		fn(txns[i])
 	}
 }
 

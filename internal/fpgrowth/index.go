@@ -29,18 +29,17 @@ const (
 
 // BuildIndex indexes the miner's transactions.
 func (m *Miner) BuildIndex() *Index {
+	numTxns := m.txns.Len()
 	idx := &Index{
 		postings: make([][]int, m.maxItem+1),
-		numTxns:  len(m.transactions),
-		words:    (len(m.transactions) + 63) / 64,
+		numTxns:  numTxns,
+		words:    (numTxns + 63) / 64,
 	}
 	// Size each posting list exactly before filling: one counting pass
 	// spares the append-doubling garbage of the naive build.
 	counts := make([]int, m.maxItem+1)
-	for _, txn := range m.transactions {
-		for _, it := range txn {
-			counts[it]++
-		}
+	for _, it := range m.txns.items {
+		counts[it]++
 	}
 	arena := make([]int, 0, total(counts))
 	for it, c := range counts {
@@ -49,8 +48,8 @@ func (m *Miner) BuildIndex() *Index {
 			arena = arena[:len(arena)+c]
 		}
 	}
-	for ti, txn := range m.transactions {
-		for _, it := range txn {
+	for ti := 0; ti < numTxns; ti++ {
+		for _, it := range m.txns.Txn(ti) {
 			idx.postings[it] = append(idx.postings[it], ti)
 		}
 	}
@@ -135,6 +134,38 @@ func (x *Index) SupportSet(items []int) []int {
 		}
 	}
 	return out
+}
+
+// ActiveMask returns a transaction bitset with the active indices set —
+// the mask SupportCount needs to recount supports over a mined subset.
+// A nil active set (meaning "all transactions") returns a nil mask.
+func (x *Index) ActiveMask(active []int) []uint64 {
+	if active == nil {
+		return nil
+	}
+	mask := make([]uint64, x.words)
+	for _, ti := range active {
+		mask[ti>>6] |= 1 << uint(ti&63)
+	}
+	return mask
+}
+
+// SupportCount returns how many transactions in mask (nil = all) contain
+// every item of the itemset. This is the lazy cross-shard verification
+// primitive: the shard merge recounts only its surviving merged MFIs —
+// never the shard-local candidate multiset — against the global index.
+func (x *Index) SupportCount(items []int, mask []uint64) int {
+	set := x.SupportSet(items)
+	if mask == nil {
+		return len(set)
+	}
+	n := 0
+	for _, ti := range set {
+		if mask[ti>>6]&(1<<uint(ti&63)) != 0 {
+			n++
+		}
+	}
+	return n
 }
 
 // intersectWords ANDs the bitsets of all items into a pooled scratch and

@@ -37,8 +37,14 @@ func (m *Miner) mineMaximal(minsup int, active []int, freq []int) []Itemset {
 	if minsup < 1 {
 		minsup = 1
 	}
+	if m.Shards > 1 {
+		return m.mineMaximalSharded(minsup, active, freq)
+	}
 	t0 := time.Now()
-	tsp := m.Trace.Child("tree_build", trace.WithKind(trace.KindOp))
+	// KindSetup: node and item counts describe the build, not the mined
+	// workload — keeping the build spans out of the Canonical tree is
+	// what lets every shard count canonicalize identically.
+	tsp := m.Trace.Child("tree_build", trace.WithKind(trace.KindSetup))
 	tree, order := m.buildFlatTree(minsup, active, freq)
 	tsp.Attr("nodes", int64(len(tree.item)-1)).Attr("items", int64(len(order))).End()
 	m.Metrics.Timer(telemetry.FamilyFPGrowthTreeBuild).Observe(time.Since(t0))
@@ -58,6 +64,46 @@ func (m *Miner) mineMaximal(minsup int, active []int, freq []int) []Itemset {
 		}
 	}
 
+	sets := m.mineTops(msp, tree, order, top, minsup)
+
+	// Maximality sweep over the merged candidates. For Workers=1 this is
+	// the historical safety net (the structural-order argument already
+	// guarantees no stored set is subsumed by a later one); for Workers>1
+	// it also removes the cross-worker redundancy, making the output
+	// independent of the fan-out.
+	return m.finishMaximal(msp, sets, t1)
+}
+
+// finishMaximal is the merge tail shared by the monolithic and
+// shard-local paths: the global maximality sweep, the canonical sort,
+// mining metrics, and the mine span's workload attribute. Because both
+// paths feed their candidate stores through the same sweep and sort,
+// the returned MFIs are bit-identical however the candidates were
+// produced.
+func (m *Miner) finishMaximal(msp *trace.Span, sets []Itemset, t1 time.Time) []Itemset {
+	out := FilterMaximal(sets)
+	sort.Slice(out, func(a, b int) bool {
+		x, y := out[a].Items, out[b].Items
+		for i := 0; i < len(x) && i < len(y); i++ {
+			if x[i] != y[i] {
+				return x[i] < y[i]
+			}
+		}
+		return len(x) < len(y)
+	})
+	m.Metrics.Timer(telemetry.FamilyFPGrowthMine).Observe(time.Since(t1))
+	m.Metrics.Counter("fpgrowth_mfis_total").Add(int64(len(out)))
+	msp.Attr("mfis", int64(len(out)))
+	return out
+}
+
+// mineTops runs the FPmax top-item loop over the given top-level ranks
+// of tree (already ordered deepest-first), fanning the items out across
+// the worker pool with worker-local MFI stores, and returns the
+// concatenated candidate sets in deterministic worker order. The caller
+// owns the final FilterMaximal sweep; both the monolithic and the
+// shard-local paths feed it through here.
+func (m *Miner) mineTops(parent *trace.Span, tree *flatTree, order []int, top []int32, minsup int) []Itemset {
 	workers := m.workers()
 	if workers > len(top) {
 		workers = len(top)
@@ -81,14 +127,14 @@ func (m *Miner) mineMaximal(minsup int, active []int, freq []int) []Itemset {
 		// deep-rank items to one worker and the expensive shallow ones to
 		// another. Each worker keeps the serial deepest-first order within
 		// its share, preserving most of the store's subsumption-pruning
-		// power; cross-worker redundancy is swept by FilterMaximal below.
+		// power; cross-worker redundancy is swept by FilterMaximal.
 		stores := make([]*mfiStore, workers)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				wsp := msp.Child("mine_worker", trace.WithKind(trace.KindWorker), trace.WithTrack(w+1))
+				wsp := parent.Child("mine_worker", trace.WithKind(trace.KindWorker), trace.WithTrack(w+1))
 				ctx := newMineCtx(order, minsup)
 				ctx.store = newMFIStore()
 				for i := w; i < len(top); i += workers {
@@ -110,26 +156,7 @@ func (m *Miner) mineMaximal(minsup int, active []int, freq []int) []Itemset {
 		}
 		m.Metrics.Timer(telemetry.FamilyFPGrowthMerge).Observe(time.Since(t2))
 	}
-
-	// Maximality sweep over the merged candidates. For Workers=1 this is
-	// the historical safety net (the structural-order argument already
-	// guarantees no stored set is subsumed by a later one); for Workers>1
-	// it also removes the cross-worker redundancy, making the output
-	// independent of the fan-out.
-	out := FilterMaximal(sets)
-	sort.Slice(out, func(a, b int) bool {
-		x, y := out[a].Items, out[b].Items
-		for i := 0; i < len(x) && i < len(y); i++ {
-			if x[i] != y[i] {
-				return x[i] < y[i]
-			}
-		}
-		return len(x) < len(y)
-	})
-	m.Metrics.Timer(telemetry.FamilyFPGrowthMine).Observe(time.Since(t1))
-	m.Metrics.Counter("fpgrowth_mfis_total").Add(int64(len(out)))
-	msp.Attr("mfis", int64(len(out)))
-	return out
+	return sets
 }
 
 // mineTopItem runs one top-level item of the FPmax loop: build the item's

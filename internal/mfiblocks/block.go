@@ -1,6 +1,7 @@
 package mfiblocks
 
 import (
+	"repro/internal/fpgrowth"
 	"repro/internal/record"
 	"repro/internal/similarity"
 )
@@ -37,18 +38,18 @@ func (b *Block) Pairs(dst [][2]int) [][2]int {
 type scorer struct {
 	cfg      *Config
 	dict     *record.Dictionary
-	encoded  [][]int // per-record sorted item ids
+	txns     *fpgrowth.Transactions // per-record sorted item ids, arena form
 	records  []*record.Record
 	itemSim  similarity.ItemSim
 	useFsim  bool
 	weighted bool
 }
 
-func newScorer(cfg *Config, dict *record.Dictionary, encoded [][]int, records []*record.Record) *scorer {
+func newScorer(cfg *Config, dict *record.Dictionary, txns *fpgrowth.Transactions, records []*record.Record) *scorer {
 	return &scorer{
 		cfg:      cfg,
 		dict:     dict,
-		encoded:  encoded,
+		txns:     txns,
 		records:  records,
 		itemSim:  similarity.ItemSim{Geo: cfg.Geo},
 		useFsim:  cfg.ExpertSim,
@@ -73,17 +74,19 @@ func (s *scorer) score(members []int) float64 {
 }
 
 func (s *scorer) clusterJaccard(members []int) float64 {
-	inter := make(map[int]bool, len(s.encoded[members[0]]))
-	union := make(map[int]bool, len(s.encoded[members[0]]))
-	for _, id := range s.encoded[members[0]] {
-		inter[id] = true
-		union[id] = true
+	first := s.txns.Txn(members[0])
+	inter := make(map[int]bool, len(first))
+	union := make(map[int]bool, len(first))
+	for _, id := range first {
+		inter[int(id)] = true
+		union[int(id)] = true
 	}
 	for _, m := range members[1:] {
-		cur := make(map[int]bool, len(s.encoded[m]))
-		for _, id := range s.encoded[m] {
-			cur[id] = true
-			union[id] = true
+		txn := s.txns.Txn(m)
+		cur := make(map[int]bool, len(txn))
+		for _, id := range txn {
+			cur[int(id)] = true
+			union[int(id)] = true
 		}
 		for id := range inter {
 			if !cur[id] {

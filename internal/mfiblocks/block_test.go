@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/fpgrowth"
 	"repro/internal/record"
 )
 
@@ -15,11 +16,11 @@ func scorerFixture(t *testing.T, cfg Config, recs []*record.Record) *scorer {
 		t.Fatal(err)
 	}
 	dict := record.BuildDictionary(coll)
-	encoded := make([][]int, len(recs))
-	for i, r := range recs {
-		encoded[i] = dict.Encode(r)
+	txns := fpgrowth.NewTransactions(len(recs), 0)
+	for _, r := range recs {
+		txns.Append(dict.Encode(r))
 	}
-	return newScorer(&cfg, dict, encoded, recs)
+	return newScorer(&cfg, dict, txns, recs)
 }
 
 func mkRec(id int64, items ...record.Item) *record.Record {

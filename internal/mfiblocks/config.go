@@ -59,6 +59,14 @@ type Config struct {
 	// output is bit-identical for every shard count. 0 or 1 disables
 	// sharding.
 	Shards int
+	// MineShards partitions each iteration's MFI mining itself into
+	// shard-local miners over contiguous structural-rank ranges of one
+	// shared projection tree (fpgrowth.Miner.Shards): each shard mines
+	// only its owned top-level suffixes into its own store, and the
+	// cross-shard FilterMaximal merge keeps the mined MFIs — and
+	// everything downstream — bit-identical for every shard count. 0 or
+	// 1 runs the single monolithic mining pass.
+	MineShards int
 	// SpillPairs, when positive, routes candidate-pair emission through a
 	// disk-spillable accumulator holding at most this many distinct pairs
 	// in memory: Result.Spill carries the merged (A, B)-sorted stream and
@@ -120,6 +128,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("mfiblocks: ExpertSim requires Geo")
 	case c.Shards < 0:
 		return fmt.Errorf("mfiblocks: Shards must be >= 0, got %d", c.Shards)
+	case c.MineShards < 0:
+		return fmt.Errorf("mfiblocks: MineShards must be >= 0, got %d", c.MineShards)
 	case c.SpillPairs < 0:
 		return fmt.Errorf("mfiblocks: SpillPairs must be >= 0, got %d", c.SpillPairs)
 	}

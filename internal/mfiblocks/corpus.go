@@ -3,26 +3,28 @@ package mfiblocks
 import (
 	"fmt"
 
+	"repro/internal/fpgrowth"
 	"repro/internal/record"
 )
 
 // Corpus is the encoded form the blocking engine actually operates on:
-// the item dictionary, the per-record sorted item-id transactions, and
-// the BookID of each transaction. It decouples the engine from
+// the item dictionary, the per-record transactions in flat arena form,
+// and the BookID of each transaction. It decouples the engine from
 // record.Collection so a streaming caller can assemble it incrementally
 // (interning items record by record, then dropping the raw records) while
 // batch callers keep the one-shot Run entry point.
 type Corpus struct {
-	// Dict maps item keys to the dense ids Encoded uses.
+	// Dict maps item keys to the dense ids Txns uses.
 	Dict *record.Dictionary
-	// Encoded holds one sorted, deduplicated item-id transaction per
-	// record, indexed by the same position as BookIDs.
-	Encoded [][]int
+	// Txns holds one sorted, deduplicated item-id transaction per record
+	// in a flat int32 arena (one allocation, cache-linear scans), indexed
+	// by the same position as BookIDs. Append grows it record by record.
+	Txns *fpgrowth.Transactions
 	// BookIDs gives each transaction's report identifier — the values
 	// candidate pairs are expressed in.
 	BookIDs []int64
 	// Records optionally carries the raw records, positionally aligned
-	// with Encoded. Required only by ExpertSim scoring, which compares
+	// with Txns. Required only by ExpertSim scoring, which compares
 	// item values; a streaming caller that sticks to the default
 	// itemset-Jaccard score leaves it nil and the engine never touches
 	// record values.
@@ -37,29 +39,38 @@ func NewCorpus(coll *record.Collection) *Corpus {
 	dict := record.BuildDictionary(coll)
 	c := &Corpus{
 		Dict:    dict,
-		Encoded: make([][]int, n),
-		BookIDs: make([]int64, n),
+		Txns:    fpgrowth.NewTransactions(n, 0),
+		BookIDs: make([]int64, 0, n),
 		Records: coll.Records,
 	}
-	for i, r := range coll.Records {
-		c.Encoded[i] = dict.Encode(r)
-		c.BookIDs[i] = r.BookID
+	for _, r := range coll.Records {
+		c.Append(dict.Encode(r), r.BookID)
 	}
 	return c
 }
 
+// Append adds one encoded transaction and its report identifier — the
+// incremental assembly step streaming ingest drives per record.
+func (c *Corpus) Append(txn []int, bookID int64) {
+	if c.Txns == nil {
+		c.Txns = fpgrowth.NewTransactions(0, 0)
+	}
+	c.Txns.Append(txn)
+	c.BookIDs = append(c.BookIDs, bookID)
+}
+
 // Len returns the number of transactions.
-func (c *Corpus) Len() int { return len(c.Encoded) }
+func (c *Corpus) Len() int { return c.Txns.Len() }
 
 // validate reports the first structural problem with the corpus.
 func (c *Corpus) validate() error {
 	switch {
 	case c.Dict == nil:
 		return fmt.Errorf("mfiblocks: corpus has no dictionary")
-	case len(c.Encoded) != len(c.BookIDs):
-		return fmt.Errorf("mfiblocks: corpus has %d transactions but %d book ids", len(c.Encoded), len(c.BookIDs))
-	case c.Records != nil && len(c.Records) != len(c.Encoded):
-		return fmt.Errorf("mfiblocks: corpus has %d transactions but %d records", len(c.Encoded), len(c.Records))
+	case c.Txns.Len() != len(c.BookIDs):
+		return fmt.Errorf("mfiblocks: corpus has %d transactions but %d book ids", c.Txns.Len(), len(c.BookIDs))
+	case c.Records != nil && len(c.Records) != c.Txns.Len():
+		return fmt.Errorf("mfiblocks: corpus has %d transactions but %d records", c.Txns.Len(), len(c.Records))
 	}
 	return nil
 }

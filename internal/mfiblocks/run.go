@@ -91,22 +91,25 @@ func RunCorpus(cfg Config, corpus *Corpus) (*Result, error) {
 	reg := cfg.metrics()
 	n := corpus.Len()
 	dict := corpus.Dict
-	encoded := corpus.Encoded
-	miner := fpgrowth.NewMiner(encoded)
+	txns := corpus.Txns
+	miner := fpgrowth.NewMinerTxns(txns)
 	miner.Metrics = reg
 	miner.Workers = cfg.Workers
+	miner.Shards = cfg.MineShards
 	if cfg.PruneFraction > 0 {
 		miner.Prune(dict.MostFrequent(cfg.PruneFraction))
 	}
 	index := miner.BuildIndex()
-	sc := newScorer(&cfg, dict, encoded, corpus.Records)
+	sc := newScorer(&cfg, dict, txns, corpus.Records)
 
 	res := &Result{Covered: make([]bool, n)}
 	var sink *spill.Pairs
+	var emit *spillEmitter
 	if cfg.SpillPairs > 0 {
 		sink = spill.NewPairs(cfg.SpillPairs, cfg.SpillDir)
 		sink.Trace = cfg.Trace
 		res.Spill = sink
+		emit = startSpillEmitter(sink, corpus.BookIDs)
 	} else {
 		res.PairScores = make(map[record.Pair]float64)
 		res.PairBlocks = make(map[record.Pair][]int)
@@ -122,8 +125,8 @@ func RunCorpus(cfg Config, corpus *Corpus) (*Result, error) {
 	// the miner ready-made counts instead of recounting every item of
 	// every active transaction.
 	freq := make([]int, dict.Len())
-	for _, txn := range encoded {
-		for _, it := range txn {
+	for i := 0; i < n; i++ {
+		for _, it := range txns.Txn(i) {
 			freq[it]++
 		}
 	}
@@ -162,20 +165,10 @@ func RunCorpus(cfg Config, corpus *Corpus) (*Result, error) {
 			stats.Blocks++
 			bi := len(res.Blocks)
 			res.Blocks = append(res.Blocks, b)
-			for i := 0; i < len(b.Members); i++ {
-				for j := i + 1; j < len(b.Members); j++ {
-					mi, mj := b.Members[i], b.Members[j]
-					p := record.MakePair(corpus.BookIDs[mi], corpus.BookIDs[mj])
-					if sink != nil {
-						first, err := sink.Add(p, b.Score)
-						if err != nil {
-							sink.Close()
-							return nil, err
-						}
-						if first {
-							stats.NewPairs++
-						}
-					} else {
+			if sink == nil {
+				for i := 0; i < len(b.Members); i++ {
+					for j := i + 1; j < len(b.Members); j++ {
+						p := record.MakePair(corpus.BookIDs[b.Members[i]], corpus.BookIDs[b.Members[j]])
 						if _, seen := res.PairScores[p]; !seen {
 							res.Pairs = append(res.Pairs, p)
 							stats.NewPairs++
@@ -185,19 +178,32 @@ func RunCorpus(cfg Config, corpus *Corpus) (*Result, error) {
 						}
 						res.PairBlocks[p] = append(res.PairBlocks[p], bi)
 					}
-					for _, m := range []int{mi, mj} {
-						if !res.Covered[m] {
-							res.Covered[m] = true
-							coveredCount++
-							// The record leaves the active set: retire its
-							// items from the incremental frequencies.
-							for _, it := range encoded[m] {
-								freq[it]--
-							}
-						}
+				}
+			}
+			// Every member of a kept block (size >= 2) joins at least one
+			// pair, so covering members directly is equivalent to the
+			// per-pair updates — and keeps coverage synchronous while the
+			// spill emitter writes pairs in the background.
+			for _, m := range b.Members {
+				if !res.Covered[m] {
+					res.Covered[m] = true
+					coveredCount++
+					// The record leaves the active set: retire its
+					// items from the incremental frequencies.
+					for _, it := range txns.Txn(m) {
+						freq[it]--
 					}
 				}
 			}
+		}
+		if emit != nil {
+			// Hand the iteration's kept blocks (immutable from here on) to
+			// the emitter: sink.Add calls happen in exactly the order the
+			// synchronous path used — batches in iteration order, blocks in
+			// kept order, pairs in member order — so the spilled stream is
+			// bit-identical while the next iteration's mining overlaps the
+			// disk writes. NewPairs is backfilled after the drain.
+			emit.send(len(res.Iterations), kept)
 		}
 		stats.CoveredNow = coveredCount
 		stats.Elapsed = time.Since(iterStart)
@@ -205,9 +211,14 @@ func RunCorpus(cfg Config, corpus *Corpus) (*Result, error) {
 		cfg.Progress.Add(int64(coveredCount - prevCovered))
 		iterSpan.Attr("active", int64(stats.Active)).
 			Attr("mfis", int64(stats.MFIs)).
-			Attr("blocks", int64(stats.Blocks)).
-			Attr("new_pairs", int64(stats.NewPairs)).
-			Attr("cs_pruned", int64(stats.CSPruned)).
+			Attr("blocks", int64(stats.Blocks))
+		if sink == nil {
+			// In spill mode pair emission outlives the iteration span (the
+			// async emitter may still be writing when it ends), and a span
+			// cannot take attrs after End — so the attr is in-memory only.
+			iterSpan.Attr("new_pairs", int64(stats.NewPairs))
+		}
+		iterSpan.Attr("cs_pruned", int64(stats.CSPruned)).
 			Attr("ng_pruned", int64(stats.NGPruned)).
 			End()
 
@@ -224,8 +235,113 @@ func RunCorpus(cfg Config, corpus *Corpus) (*Result, error) {
 			"cs_pruned", stats.CSPruned, "ng_pruned", stats.NGPruned,
 			"new_pairs", stats.NewPairs, "covered", coveredCount, "of", n,
 			"min_th", iterTh, "elapsed", stats.Elapsed)
+		if emit != nil && emit.failed.Load() {
+			break // stop mining; wait() below surfaces the write error
+		}
+	}
+	if emit != nil {
+		if err := emit.wait(); err != nil {
+			sink.Close()
+			return nil, err
+		}
+		// The emitter owned the first-seen accounting; fold it back into
+		// the per-iteration stats and the pair counter now that every
+		// sink.Add has happened.
+		for i, np := range emit.newPairs {
+			res.Iterations[i].NewPairs = np
+			reg.Counter("mfiblocks_pairs_total").Add(int64(np))
+		}
 	}
 	return res, nil
+}
+
+// emitBatch is one iteration's kept blocks queued for spill emission.
+type emitBatch struct {
+	iter   int // index of the iteration, for NewPairs backfill
+	blocks []*Block
+}
+
+// spillEmitter overlaps candidate-pair emission with block discovery in
+// spill mode: the main loop hands each iteration's kept blocks over a
+// small bounded channel and immediately mines the next minsup level
+// while this goroutine enumerates member pairs and appends them to the
+// spill sink. A single consumer preserving batch order keeps the
+// sink.Add sequence — and therefore the spilled runs and every
+// first-seen bit — identical to the synchronous path's.
+type spillEmitter struct {
+	sink    *spill.Pairs
+	bookIDs []int64
+	ch      chan emitBatch
+	done    chan struct{}
+	failed  atomic.Bool
+	// err and newPairs are written only by the emitter goroutine and read
+	// by the producer only after done closes (wait), so the channel close
+	// orders every access.
+	err      error
+	newPairs []int // first-seen pairs per iteration, indexed by emitBatch.iter
+}
+
+func startSpillEmitter(sink *spill.Pairs, bookIDs []int64) *spillEmitter {
+	e := &spillEmitter{
+		sink:    sink,
+		bookIDs: bookIDs,
+		// Capacity 2 bounds the overlap window: at most the current
+		// iteration's blocks plus two queued batches are retained, so the
+		// emitter never lets block memory grow with the iteration count.
+		ch:   make(chan emitBatch, 2),
+		done: make(chan struct{}),
+	}
+	go e.run()
+	return e
+}
+
+func (e *spillEmitter) run() {
+	defer close(e.done)
+	for batch := range e.ch {
+		if e.err != nil {
+			continue // keep draining so send never blocks after a failure
+		}
+		first := 0
+		for _, b := range batch.blocks {
+			for i := 0; i < len(b.Members) && e.err == nil; i++ {
+				for j := i + 1; j < len(b.Members); j++ {
+					p := record.MakePair(e.bookIDs[b.Members[i]], e.bookIDs[b.Members[j]])
+					isFirst, err := e.sink.Add(p, b.Score)
+					if err != nil {
+						e.err = err
+						e.failed.Store(true)
+						break
+					}
+					if isFirst {
+						first++
+					}
+				}
+			}
+			if e.err != nil {
+				break
+			}
+		}
+		for len(e.newPairs) <= batch.iter {
+			e.newPairs = append(e.newPairs, 0)
+		}
+		e.newPairs[batch.iter] = first
+	}
+}
+
+// send queues one iteration's kept blocks; it blocks when the emitter is
+// more than two iterations behind. The blocks must not be mutated after
+// the call (the run never does — kept blocks are final once enforceNG
+// returns).
+func (e *spillEmitter) send(iter int, blocks []*Block) {
+	e.ch <- emitBatch{iter: iter, blocks: blocks}
+}
+
+// wait closes the queue, drains the emitter, and returns its first
+// write error (nil on success). newPairs is complete once wait returns.
+func (e *spillEmitter) wait() error {
+	close(e.ch)
+	<-e.done
+	return e.err
 }
 
 // buildBlocks materializes and scores the MFI supports in parallel,

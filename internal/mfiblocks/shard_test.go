@@ -185,7 +185,7 @@ func TestRunCorpusWithoutRecords(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	bare := &Corpus{Dict: corpus.Dict, Encoded: corpus.Encoded, BookIDs: corpus.BookIDs}
+	bare := &Corpus{Dict: corpus.Dict, Txns: corpus.Txns, BookIDs: corpus.BookIDs}
 	got, err := RunCorpus(NewConfig(), bare)
 	if err != nil {
 		t.Fatal(err)

@@ -79,18 +79,23 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 		events = append(events, ordered{ts: ev.Ts, tid: ev.Tid, name: ev.Name, seq: i, event: ev})
 	}
 	if smp := t.sampler.Load(); smp != nil {
+		type lane struct {
+			name string
+			key  string
+			v    int64
+		}
 		for i, s := range smp.Samples() {
 			ts := float64(s.AtNS) / 1e3
-			for _, c := range []struct {
-				name string
-				key  string
-				v    int64
-			}{
-				{"heap_bytes", "bytes", s.HeapBytes},
-				{"rss_bytes", "bytes", s.RSSBytes},
-				{"goroutines", "count", s.Goroutines},
-				{"gc_pause_total_ns", "ns", s.GCPauseNS},
-			} {
+			counters := []lane{{"heap_bytes", "bytes", s.HeapBytes}}
+			if smp.RSSAvailable() {
+				// No procfs means no measurements: leave the lane out
+				// rather than plot a flat zero line.
+				counters = append(counters, lane{"rss_bytes", "bytes", s.RSSBytes})
+			}
+			counters = append(counters,
+				lane{"goroutines", "count", s.Goroutines},
+				lane{"gc_pause_total_ns", "ns", s.GCPauseNS})
+			for _, c := range counters {
 				events = append(events, ordered{ts: ts, tid: samplerTrack, name: c.name, seq: i, event: chromeEvent{
 					Name: c.name, Ph: "C", Ts: ts, Pid: chromePid, Tid: samplerTrack,
 					Args: map[string]int64{c.key: c.v},

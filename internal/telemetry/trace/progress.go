@@ -138,8 +138,15 @@ func (p *Progress) print() {
 	if secs := elapsed.Seconds(); secs > 0 && done > 0 {
 		rate := float64(done) / secs
 		line += fmt.Sprintf(" %.0f/s", rate)
-		if st.total > done {
-			eta := time.Duration(float64(st.total-done) / rate * float64(time.Second))
+		if st.total > 0 {
+			// A stage may overshoot its estimate (coverage counters can
+			// pass the record total); clamp so the line reads eta=0s
+			// instead of a negative duration.
+			remaining := st.total - done
+			if remaining < 0 {
+				remaining = 0
+			}
+			eta := time.Duration(float64(remaining) / rate * float64(time.Second))
 			line += fmt.Sprintf(" eta=%s", eta.Round(100*time.Millisecond))
 		}
 	}

@@ -63,6 +63,41 @@ func TestProgressUnknownTotal(t *testing.T) {
 	}
 }
 
+// TestProgressETAClampsAtZero pins the overshoot form: when the counter
+// passes the stage total (coverage can exceed the record estimate), the
+// ETA clamps to zero instead of rendering a negative duration.
+func TestProgressETAClampsAtZero(t *testing.T) {
+	var buf syncBuffer
+	p := &Progress{W: &buf, Interval: time.Hour}
+	p.Start()
+	p.Stage("blocking", 100)
+	p.Add(150) // done > total
+	time.Sleep(10 * time.Millisecond) // non-zero elapsed so the rate term prints
+	p.Stop()
+	out := buf.String()
+	if !strings.Contains(out, "eta=0s") {
+		t.Errorf("overshot stage should print eta=0s:\n%s", out)
+	}
+	if strings.Contains(out, "eta=-") {
+		t.Errorf("negative ETA leaked:\n%s", out)
+	}
+}
+
+// TestProgressETAExactTotal pins the done == total boundary: finished
+// stages report eta=0s rather than dropping the field mid-format.
+func TestProgressETAExactTotal(t *testing.T) {
+	var buf syncBuffer
+	p := &Progress{W: &buf, Interval: time.Hour}
+	p.Start()
+	p.Stage("scoring", 100)
+	p.Add(100)
+	time.Sleep(10 * time.Millisecond)
+	p.Stop()
+	if out := buf.String(); !strings.Contains(out, "eta=0s") {
+		t.Errorf("completed stage should print eta=0s:\n%s", out)
+	}
+}
+
 // TestProgressStopWithoutStart pins that Stop on a never-started (or
 // nil) Progress is a no-op — teardown paths call it unconditionally.
 func TestProgressStopWithoutStart(t *testing.T) {

@@ -17,7 +17,8 @@ type Sample struct {
 	// HeapBytes is the live heap (runtime.MemStats.HeapAlloc).
 	HeapBytes int64 `json:"heap_bytes"`
 	// RSSBytes is the process resident set from /proc/self/statm;
-	// zero on platforms without it.
+	// meaningless on platforms without procfs — check the sampler's
+	// RSSAvailable before trusting it.
 	RSSBytes int64 `json:"rss_bytes"`
 	// Goroutines is runtime.NumGoroutine.
 	Goroutines int64 `json:"goroutines"`
@@ -43,6 +44,7 @@ const defaultSamplerCap = 1 << 15
 type Sampler struct {
 	tracer   *Tracer
 	interval time.Duration
+	rssOK    bool // procfs readable at start: rss series and summary present
 
 	mu      sync.Mutex
 	ring    []Sample
@@ -74,6 +76,7 @@ func (t *Tracer) StartSampler(interval time.Duration) *Sampler {
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+	_, s.rssOK = readRSS()
 	t.sampler.Store(s)
 	go s.loop()
 	return s
@@ -107,10 +110,11 @@ func (s *Sampler) loop() {
 func (s *Sampler) take() {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
+	rss, _ := readRSS()
 	smp := Sample{
 		AtNS:       s.tracer.now(),
 		HeapBytes:  int64(ms.HeapAlloc),
-		RSSBytes:   readRSS(),
+		RSSBytes:   rss,
 		Goroutines: int64(runtime.NumGoroutine()),
 		GCPauseNS:  int64(ms.PauseTotalNs),
 		GCCycles:   int64(ms.NumGC),
@@ -137,6 +141,12 @@ func (s *Sampler) Stop() {
 	<-s.done
 }
 
+// RSSAvailable reports whether the platform exposed resident-set
+// samples when the recorder started. When false the rss counter lane is
+// left out of the Chrome export and the summary omits its RSS fields —
+// an absent series, not a series of zeros masquerading as measurements.
+func (s *Sampler) RSSAvailable() bool { return s != nil && s.rssOK }
+
 // Samples returns the recorded window in chronological order.
 func (s *Sampler) Samples() []Sample {
 	if s == nil {
@@ -161,8 +171,9 @@ type SamplerSummary struct {
 	Retained       int   `json:"retained"`
 	PeakHeapBytes  int64 `json:"peak_heap_bytes"`
 	P50HeapBytes   int64 `json:"p50_heap_bytes"`
-	PeakRSSBytes   int64 `json:"peak_rss_bytes"`
-	P50RSSBytes    int64 `json:"p50_rss_bytes"`
+	// The RSS pair is omitted (not zeroed) when procfs is unavailable.
+	PeakRSSBytes int64 `json:"peak_rss_bytes,omitempty"`
+	P50RSSBytes  int64 `json:"p50_rss_bytes,omitempty"`
 	PeakGoroutines int64 `json:"peak_goroutines"`
 	GCPauseNS      int64 `json:"gc_pause_total_ns"`
 	GCCycles       int64 `json:"gc_cycles"`
@@ -193,7 +204,9 @@ func (s *Sampler) Summary() *SamplerSummary {
 	sum.GCPauseNS = last.GCPauseNS
 	sum.GCCycles = last.GCCycles
 	sum.PeakHeapBytes, sum.P50HeapBytes = peakAndP50(heap)
-	sum.PeakRSSBytes, sum.P50RSSBytes = peakAndP50(rss)
+	if s.rssOK {
+		sum.PeakRSSBytes, sum.P50RSSBytes = peakAndP50(rss)
+	}
 	return sum
 }
 
@@ -203,21 +216,26 @@ func peakAndP50(vs []int64) (peak, p50 int64) {
 	return sorted[len(sorted)-1], sorted[len(sorted)/2]
 }
 
-// readRSS reads the resident set size from /proc/self/statm (field 2,
-// in pages). Platforms without procfs report zero — the series is then
-// absent rather than wrong.
-func readRSS() int64 {
-	data, err := os.ReadFile("/proc/self/statm")
+// statmPath is the procfs source for resident-set samples. A variable
+// so tests can point it at a missing file and exercise the
+// no-procfs path on any platform.
+var statmPath = "/proc/self/statm"
+
+// readRSS reads the resident set size from statmPath (field 2, in
+// pages). ok is false on platforms without procfs — callers drop the
+// series instead of recording zeros.
+func readRSS() (rss int64, ok bool) {
+	data, err := os.ReadFile(statmPath)
 	if err != nil {
-		return 0
+		return 0, false
 	}
 	fields := strings.Fields(string(data))
 	if len(fields) < 2 {
-		return 0
+		return 0, false
 	}
 	pages, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {
-		return 0
+		return 0, false
 	}
-	return pages * int64(os.Getpagesize())
+	return pages * int64(os.Getpagesize()), true
 }

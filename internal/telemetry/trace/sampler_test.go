@@ -1,6 +1,10 @@
 package trace
 
 import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
@@ -52,6 +56,67 @@ func TestSamplerSummary(t *testing.T) {
 	}
 	if sum.PeakGoroutines <= 0 {
 		t.Fatalf("goroutine peak = %+v", sum)
+	}
+}
+
+// TestSamplerRSSUnavailable pins the no-procfs contract: when statm is
+// unreadable the summary omits the RSS pair (JSON omitempty, zero
+// values) and the Chrome export drops the rss_bytes counter lane —
+// absent series, not zero-valued ones.
+func TestSamplerRSSUnavailable(t *testing.T) {
+	orig := statmPath
+	statmPath = filepath.Join(t.TempDir(), "no-such-statm")
+	defer func() { statmPath = orig }()
+
+	tr := New()
+	tr.StartSpan(nil, "run", WithKind(KindRun)).End()
+	smp := tr.StartSampler(time.Hour)
+	smp.Stop()
+	if smp.RSSAvailable() {
+		t.Fatal("RSSAvailable = true with unreadable statm")
+	}
+	sum := smp.Summary()
+	if sum.PeakRSSBytes != 0 || sum.P50RSSBytes != 0 {
+		t.Fatalf("RSS summary fields should be zero (omitted): %+v", sum)
+	}
+	if sum.PeakHeapBytes <= 0 {
+		t.Fatalf("heap stats must survive RSS unavailability: %+v", sum)
+	}
+	raw, err := json.Marshal(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), "rss") {
+		t.Fatalf("summary JSON should omit RSS fields:\n%s", raw)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "rss_bytes") {
+		t.Fatalf("Chrome export kept the rss_bytes lane:\n%s", out)
+	}
+	if !strings.Contains(out, "heap_bytes") {
+		t.Fatalf("Chrome export lost the heap lane:\n%s", out)
+	}
+}
+
+// TestSamplerRSSAvailable pins the procfs-present path on Linux: the
+// series and summary carry real resident-set readings.
+func TestSamplerRSSAvailable(t *testing.T) {
+	if _, ok := readRSS(); !ok {
+		t.Skip("no procfs on this platform")
+	}
+	tr := New()
+	smp := tr.StartSampler(time.Hour)
+	smp.Stop()
+	if !smp.RSSAvailable() {
+		t.Fatal("RSSAvailable = false with readable statm")
+	}
+	if sum := smp.Summary(); sum.PeakRSSBytes <= 0 || sum.P50RSSBytes <= 0 {
+		t.Fatalf("RSS summary empty despite procfs: %+v", sum)
 	}
 }
 
