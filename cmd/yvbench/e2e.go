@@ -67,6 +67,7 @@ type e2eBenchRow struct {
 	Shards         int            `json:"shards"`
 	MineShards     int            `json:"mine_shards"`
 	Workers        int            `json:"workers"`
+	BlockCache     int            `json:"block_cache"`
 	GoMaxProcs     int            `json:"gomaxprocs"`
 	GoVersion      string         `json:"go_version"`
 	GitCommit      string         `json:"git_commit,omitempty"`
@@ -101,7 +102,7 @@ type e2eChildResult struct {
 // e2eStreamOptions is the one pipeline configuration both the child and
 // any in-process caller run: the bounded-memory streaming defaults over
 // the random-set gazetteer.
-func e2eStreamOptions(shards, mineShards, workers int) core.StreamOptions {
+func e2eStreamOptions(shards, mineShards, workers, blockCache int) core.StreamOptions {
 	opts := core.StreamOptions{Options: core.Options{
 		Blocking:   mfiblocks.NewConfig(),
 		Preprocess: true,
@@ -113,6 +114,7 @@ func e2eStreamOptions(shards, mineShards, workers int) core.StreamOptions {
 	opts.Blocking.Shards = shards
 	opts.Blocking.MineShards = mineShards
 	opts.Blocking.SpillPairs = spill.DefaultCap
+	opts.Blocking.BlockCache = blockCache
 	return opts
 }
 
@@ -130,7 +132,7 @@ func maxrssBytes(maxrss int64) int64 {
 // path through the sharded spilled pipeline and print the counters as
 // JSON. It runs in its own process so the parent can read the kernel's
 // peak-RSS accounting for exactly this work.
-func runE2EChild(path string, shards, mineShards, workers int, traceOut string) error {
+func runE2EChild(path string, shards, mineShards, workers, blockCache int, traceOut string) error {
 	if workers > runtime.GOMAXPROCS(0) {
 		runtime.GOMAXPROCS(workers)
 	}
@@ -140,7 +142,7 @@ func runE2EChild(path string, shards, mineShards, workers int, traceOut string) 
 	}
 	defer src.Close()
 
-	opts := e2eStreamOptions(shards, mineShards, workers)
+	opts := e2eStreamOptions(shards, mineShards, workers, blockCache)
 	if traceOut != "" {
 		opts.Trace = trace.New()
 		opts.Trace.StartSampler(0)
@@ -216,7 +218,7 @@ func e2eCorpus(dir string, n int) (string, error) {
 // to path. maxRSSMB > 0 turns the report into a gate: any row whose
 // measured peak RSS exceeds the ceiling fails the run (the CI smoke
 // test's memory-boundedness check).
-func runE2EBench(path, recordsCSV string, shards, mineShards, workers, maxRSSMB int, traceOut string) error {
+func runE2EBench(path, recordsCSV string, shards, mineShards, workers, blockCache, maxRSSMB int, traceOut string) error {
 	var sizes []int
 	for _, f := range strings.Split(recordsCSV, ",") {
 		f = strings.TrimSpace(f)
@@ -253,14 +255,15 @@ func runE2EBench(path, recordsCSV string, shards, mineShards, workers, maxRSSMB 
 		if err != nil {
 			return err
 		}
-		fmt.Printf("bench-e2e: running pipeline over %s (shards=%d mine-shards=%d workers=%d)...\n",
-			filepath.Base(corpus), shards, mineShards, workers)
+		fmt.Printf("bench-e2e: running pipeline over %s (shards=%d mine-shards=%d workers=%d block-cache=%d)...\n",
+			filepath.Base(corpus), shards, mineShards, workers, blockCache)
 
 		args := []string{
 			"-e2e-child", corpus,
 			"-e2e-shards", strconv.Itoa(shards),
 			"-e2e-mine-shards", strconv.Itoa(mineShards),
 			"-e2e-workers", strconv.Itoa(workers),
+			"-block-cache", strconv.Itoa(blockCache),
 		}
 		if traceOut != "" {
 			args = append(args, "-e2e-trace-out", rowTracePath(traceOut, n, len(sizes) > 1))
@@ -291,6 +294,7 @@ func runE2EBench(path, recordsCSV string, shards, mineShards, workers, maxRSSMB 
 			Shards:         shards,
 			MineShards:     mineShards,
 			Workers:        workers,
+			BlockCache:     blockCache,
 			GoMaxProcs:     child.GoMaxProcs,
 			GoVersion:      child.GoVersion,
 			GitCommit:      gitCommit(),

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/mfiblocks"
 	"repro/internal/telemetry"
 )
 
@@ -46,6 +47,7 @@ func main() {
 	e2eShards := flag.Int("e2e-shards", 8, "blocking shards for -bench-e2e rows")
 	e2eMineShards := flag.Int("e2e-mine-shards", 8, "shard-local MFI miners for -bench-e2e rows (0 or 1 = one mining pass)")
 	e2eWorkers := flag.Int("e2e-workers", 8, "pipeline workers for -bench-e2e rows")
+	blockCache := flag.Int("block-cache", mfiblocks.DefaultBlockCache, "cross-iteration block materialization cache entries for -bench-e2e rows (0 disables)")
 	e2eMaxRSSMB := flag.Int("e2e-max-rss-mb", 0, "fail -bench-e2e if any row's peak RSS exceeds this many MiB (0 = no ceiling)")
 	e2eTraceOut := flag.String("e2e-trace-out", "", "write each -bench-e2e row's trace (Chrome trace-event JSON) to this file (multi-size runs suffix the record count)")
 	e2eChild := flag.String("e2e-child", "", "internal: stream this .yvst through the pipeline, print JSON counters, and exit")
@@ -54,14 +56,14 @@ func main() {
 	telemetry.SetVerbose(*verbose)
 
 	if *e2eChild != "" {
-		if err := runE2EChild(*e2eChild, *e2eShards, *e2eMineShards, *e2eWorkers, *e2eTraceOut); err != nil {
+		if err := runE2EChild(*e2eChild, *e2eShards, *e2eMineShards, *e2eWorkers, *blockCache, *e2eTraceOut); err != nil {
 			fmt.Fprintf(os.Stderr, "yvbench: %v\n", err)
 			os.Exit(1)
 		}
 		return
 	}
 	if *benchE2E != "" {
-		if err := runE2EBench(*benchE2E, *e2eRecords, *e2eShards, *e2eMineShards, *e2eWorkers, *e2eMaxRSSMB, *e2eTraceOut); err != nil {
+		if err := runE2EBench(*benchE2E, *e2eRecords, *e2eShards, *e2eMineShards, *e2eWorkers, *blockCache, *e2eMaxRSSMB, *e2eTraceOut); err != nil {
 			fmt.Fprintf(os.Stderr, "yvbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -13,10 +13,11 @@
 // -shards partitions block materialization by MFI-key signature,
 // -mine-shards splits MFI mining itself into shard-local miners over
 // rank ranges of one shared FP-tree (a cross-shard maximality merge
-// keeps the result exact), and -spill-pairs bounds the in-memory
+// keeps the result exact), -spill-pairs bounds the in-memory
 // candidate window
-// (overflow merges through sorted disk runs); all three leave the
-// ranked output bit-identical.
+// (overflow merges through sorted disk runs), and -block-cache bounds
+// the cross-iteration block materialization memo (0 disables it); all
+// four leave the ranked output bit-identical.
 // -stream reads a .yvst store through the windowed reader and resolves
 // it with the bounded-memory streaming pipeline — records are encoded as
 // they arrive and dropped unless a flag (model, search, clusters) needs
@@ -57,6 +58,7 @@ func main() {
 	shards := flag.Int("shards", 0, "signature-partitioned blocking shards (0 or 1 = monolithic; output is bit-identical)")
 	mineShards := flag.Int("mine-shards", 0, "shard-local MFI miners over rank ranges (0 or 1 = one mining pass; output is bit-identical)")
 	spillPairs := flag.Int("spill-pairs", 0, "spill candidate pairs to disk past this many in memory (0 = unbounded; -stream defaults to a bounded cap)")
+	blockCache := flag.Int("block-cache", mfiblocks.DefaultBlockCache, "cross-iteration block materialization cache entries (0 disables; output is bit-identical either way)")
 	stream := flag.Bool("stream", false, "stream a .yvst store through the bounded-memory pipeline instead of loading the whole corpus")
 	reportPath := flag.String("report", "", "write the run's telemetry report (JSON) to this file")
 	traceOut := flag.String("trace-out", "", "write the run's trace (Chrome trace-event JSON, Perfetto-loadable) to this file; enables tracing and the flight recorder")
@@ -76,6 +78,7 @@ func main() {
 	bc.Shards = *shards
 	bc.MineShards = *mineShards
 	bc.SpillPairs = *spillPairs
+	bc.BlockCache = *blockCache
 	opts := core.Options{
 		Blocking:   bc,
 		Geo:        gazetteer.Builtin(0),

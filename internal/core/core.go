@@ -422,9 +422,13 @@ func blockingReport(blk *mfiblocks.Result) *telemetry.BlockingReport {
 		}
 	}
 	br := &telemetry.BlockingReport{
-		Blocks:  len(blk.Blocks),
-		Pairs:   len(blk.Pairs),
-		Covered: covered,
+		Blocks:         len(blk.Blocks),
+		Pairs:          len(blk.Pairs),
+		Covered:        covered,
+		CacheHits:      blk.Cache.Hits,
+		CacheMisses:    blk.Cache.Misses,
+		CacheEvictions: blk.Cache.Evictions,
+		CacheEntries:   blk.Cache.Entries,
 	}
 	for _, it := range blk.Iterations {
 		br.Iterations = append(br.Iterations, telemetry.IterationReport{

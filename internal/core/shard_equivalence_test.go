@@ -101,6 +101,29 @@ func TestStreamShardEquivalence(t *testing.T) {
 				}
 			}
 		}
+
+		// Block-cache dimension: off, a tiny eviction-churning bound, and
+		// the CLI default must all reproduce the cache-less baseline
+		// bit-for-bit, composed with shard and mining fan-out.
+		for _, blockCache := range []int{0, 64, mfiblocks.DefaultBlockCache} {
+			for _, shards := range []int{1, 4} {
+				for _, mineShards := range []int{1, 4} {
+					label := fmt.Sprintf("seed=%d cache=%d shards=%d mineShards=%d", d.seed, blockCache, shards, mineShards)
+					opts := StreamOptions{Options: base}
+					opts.Workers = 8
+					opts.Blocking.Shards = shards
+					opts.Blocking.MineShards = mineShards
+					opts.Blocking.BlockCache = blockCache
+					opts.Blocking.SpillPairs = 64
+					opts.Blocking.SpillDir = t.TempDir()
+					got, err := RunStream(opts, NewCollectionSource(g.Collection))
+					if err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+					assertResolutionsMatch(t, label, want, got)
+				}
+			}
+		}
 	}
 }
 

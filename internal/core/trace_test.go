@@ -41,29 +41,35 @@ func TestTraceCanonicalEquivalence(t *testing.T) {
 	for _, shards := range []int{1, 4} {
 		for _, workers := range []int{1, 2, 8} {
 			for _, mineShards := range []int{1, 4} {
-				label := fmt.Sprintf("shards=%d mineShards=%d workers=%d", shards, mineShards, workers)
-				opts := StreamOptions{Options: base}
-				opts.Workers = workers
-				opts.Blocking.Workers = workers
-				opts.Blocking.Shards = shards
-				opts.Blocking.MineShards = mineShards
-				opts.Blocking.SpillPairs = 64
-				opts.Blocking.SpillDir = t.TempDir()
-				opts.Trace = trace.New()
-				res, err := RunStream(opts, NewCollectionSource(g.Collection))
-				if err != nil {
-					t.Fatalf("%s: %v", label, err)
-				}
-				if res.Blocking.Spill.Stats().Runs == 0 {
-					t.Fatalf("%s: spill never flushed; the matrix is not exercising spill spans", label)
-				}
-				got := canonicalJSON(t, res)
-				if want == "" {
-					want, wantLabel = got, label
-					continue
-				}
-				if got != want {
-					t.Errorf("canonical trees diverge: %s vs %s\n%s\nvs\n%s", wantLabel, label, want, got)
+				// The block cache rides the matrix as a fourth dimension:
+				// its hit counts are volatile span attrs, so cached and
+				// uncached runs must emit the same canonical bytes.
+				for _, blockCache := range []int{0, mfiblocks.DefaultBlockCache} {
+					label := fmt.Sprintf("shards=%d mineShards=%d workers=%d cache=%d", shards, mineShards, workers, blockCache)
+					opts := StreamOptions{Options: base}
+					opts.Workers = workers
+					opts.Blocking.Workers = workers
+					opts.Blocking.Shards = shards
+					opts.Blocking.MineShards = mineShards
+					opts.Blocking.BlockCache = blockCache
+					opts.Blocking.SpillPairs = 64
+					opts.Blocking.SpillDir = t.TempDir()
+					opts.Trace = trace.New()
+					res, err := RunStream(opts, NewCollectionSource(g.Collection))
+					if err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+					if res.Blocking.Spill.Stats().Runs == 0 {
+						t.Fatalf("%s: spill never flushed; the matrix is not exercising spill spans", label)
+					}
+					got := canonicalJSON(t, res)
+					if want == "" {
+						want, wantLabel = got, label
+						continue
+					}
+					if got != want {
+						t.Errorf("canonical trees diverge: %s vs %s\n%s\nvs\n%s", wantLabel, label, want, got)
+					}
 				}
 			}
 		}

@@ -73,6 +73,12 @@ type Miner struct {
 	// production runs.
 	SelfVerify bool
 	vIndex     *Index
+	// scratch is the reusable root projection tree: projectTree recycles
+	// it across calls via the dirty-rank reset instead of allocating a
+	// fresh arena per minsup level. It makes repeated mining through one
+	// Miner non-reentrant — the MFIBlocks loop already mines sequentially.
+	scratch    *flatTree
+	scratchBuf []int32
 }
 
 // NewMiner builds a miner over the transactions. Each transaction must be
@@ -202,13 +208,27 @@ func (m *Miner) buildFlatTree(minsup int, active []int, freq []int) (*flatTree, 
 }
 
 // projectTree inserts every active transaction's frequent-rank projection
-// into a fresh tree over the whole rank universe [0, nRanks). Both the
-// monolithic and the shard-local miners mine this one tree: conditional
-// mining for a top-level rank only ever descends into ranks below it, so
-// the tree doubles as every shard's prefix-closed projection at once.
+// into the miner's scratch tree over the whole rank universe [0, nRanks).
+// Both the monolithic and the shard-local miners mine this one tree:
+// conditional mining for a top-level rank only ever descends into ranks
+// below it, so the tree doubles as every shard's prefix-closed projection
+// at once. The scratch tree is recycled across calls (dirty-rank reset +
+// rank-table growth), so each mining call must finish with the returned
+// tree before the next one starts — true of every caller, including the
+// MFIBlocks minsup loop.
 func (m *Miner) projectTree(active []int, rankOf []int32, nRanks, nodeCap int) *flatTree {
-	tree := newFlatTree(nRanks, nodeCap)
-	buf := make([]int32, 0, 32)
+	tree := m.scratch
+	if tree == nil {
+		tree = newFlatTree(nRanks, nodeCap)
+		m.scratch = tree
+	} else {
+		tree.reset()
+		tree.growRanks(nRanks)
+	}
+	if cap(m.scratchBuf) == 0 {
+		m.scratchBuf = make([]int32, 0, 32)
+	}
+	buf := m.scratchBuf
 	m.txns.forEachActive(active, func(txn []int32) {
 		buf = buf[:0]
 		for _, it := range txn {
@@ -224,6 +244,7 @@ func (m *Miner) projectTree(active []int, rankOf []int32, nRanks, nodeCap int) *
 		sortInt32(buf)
 		tree.insertPath(buf, 1)
 	})
+	m.scratchBuf = buf[:0]
 	return tree
 }
 

@@ -2,6 +2,7 @@ package fpgrowth
 
 import (
 	"math/bits"
+	"slices"
 	"sync"
 )
 
@@ -88,14 +89,27 @@ var wordScratch = sync.Pool{New: func() any { return new([]uint64) }}
 // item of the itemset. The returned slice is freshly allocated and safe for
 // the caller to retain.
 func (x *Index) SupportSet(items []int) []int {
-	if len(items) == 0 {
+	out := x.AppendSupportSet(items, nil)
+	if len(out) == 0 {
 		return nil
+	}
+	return out
+}
+
+// AppendSupportSet appends the ascending transaction indices containing
+// every item of the itemset to dst and returns the extended slice — the
+// allocation-free form of SupportSet for callers that recycle member
+// buffers across blocks (the materialization hot loop). An empty support
+// appends nothing.
+func (x *Index) AppendSupportSet(items []int, dst []int) []int {
+	if len(items) == 0 {
+		return dst
 	}
 	smallest := -1
 	allDense := true
 	for _, it := range items {
 		if it < 0 || it >= len(x.postings) || len(x.postings[it]) == 0 {
-			return nil
+			return dst
 		}
 		if smallest < 0 || len(x.postings[it]) < len(x.postings[smallest]) {
 			smallest = it
@@ -105,21 +119,20 @@ func (x *Index) SupportSet(items []int) []int {
 		}
 	}
 	if len(items) == 1 {
-		out := make([]int, len(x.postings[smallest]))
-		copy(out, x.postings[smallest])
-		return out
+		return append(dst, x.postings[smallest]...)
 	}
 	// When every item is dense and even the smallest posting list is
 	// longer than the bitset, whole-word ANDs beat per-element probing.
 	if allDense && len(x.postings[smallest]) > x.words {
-		return x.intersectWords(items)
+		return x.appendIntersectWords(items, dst)
 	}
 
 	// Driver path: copy the smallest posting list once, then shrink it in
 	// place against each remaining item — an O(1) bitset probe for dense
 	// items, a sorted merge for sparse ones.
-	out := make([]int, len(x.postings[smallest]))
-	copy(out, x.postings[smallest])
+	base := len(dst)
+	dst = append(dst, x.postings[smallest]...)
+	out := dst[base:]
 	for _, it := range items {
 		if it == smallest {
 			continue
@@ -130,10 +143,10 @@ func (x *Index) SupportSet(items []int) []int {
 			out = intersectInto(out, x.postings[it])
 		}
 		if len(out) == 0 {
-			return nil
+			return dst[:base]
 		}
 	}
-	return out
+	return dst[:base+len(out)]
 }
 
 // ActiveMask returns a transaction bitset with the active indices set —
@@ -168,9 +181,9 @@ func (x *Index) SupportCount(items []int, mask []uint64) int {
 	return n
 }
 
-// intersectWords ANDs the bitsets of all items into a pooled scratch and
-// enumerates the surviving transaction indices.
-func (x *Index) intersectWords(items []int) []int {
+// appendIntersectWords ANDs the bitsets of all items into a pooled scratch
+// and appends the surviving transaction indices to dst.
+func (x *Index) appendIntersectWords(items []int, dst []int) []int {
 	sp := wordScratch.Get().(*[]uint64)
 	scratch := *sp
 	if cap(scratch) < x.words {
@@ -188,20 +201,19 @@ func (x *Index) intersectWords(items []int) []int {
 	for _, w := range scratch {
 		n += bits.OnesCount64(w)
 	}
-	var out []int
 	if n > 0 {
-		out = make([]int, 0, n)
+		dst = slices.Grow(dst, n)
 		for wi, w := range scratch {
 			base := wi << 6
 			for w != 0 {
-				out = append(out, base+bits.TrailingZeros64(w))
+				dst = append(dst, base+bits.TrailingZeros64(w))
 				w &= w - 1
 			}
 		}
 	}
 	*sp = scratch
 	wordScratch.Put(sp)
-	return out
+	return dst
 }
 
 // filterBits keeps the members of dst whose bit is set, in place.

@@ -80,6 +80,19 @@ func (t *flatTree) reset() {
 	t.pushRoot()
 }
 
+// growRanks widens the rank-indexed tables to cover nRanks, initializing
+// only the new tail. Reusing one tree across the MFIBlocks minsup loop
+// needs this: lower minsup levels admit more frequent items, so the rank
+// universe grows between iterations while reset only clears the entries
+// the previous build dirtied.
+func (t *flatTree) growRanks(nRanks int) {
+	for len(t.head) < nRanks {
+		t.head = append(t.head, -1)
+		t.cnt = append(t.cnt, 0)
+		t.rootkid = append(t.rootkid, -1)
+	}
+}
+
 // insertPath adds one transaction path (ranks ascending — the structural
 // item order) with the given count. Root children are found through the
 // rank-indexed rootkid table in O(1); deeper levels use a linear sibling

@@ -1,6 +1,9 @@
 package mfiblocks
 
 import (
+	"slices"
+	"sync"
+
 	"repro/internal/fpgrowth"
 	"repro/internal/record"
 	"repro/internal/similarity"
@@ -73,38 +76,101 @@ func (s *scorer) score(members []int) float64 {
 	return s.clusterJaccard(members)
 }
 
+// jaccardScratch is one goroutine's merge buffers; scorers are shared
+// across the block-building worker pool, so scratch rides a pool rather
+// than the scorer.
+type jaccardScratch struct {
+	inter []int32
+	union []int32
+	next  []int32
+}
+
+var jaccardScratchPool = sync.Pool{New: func() any { return new(jaccardScratch) }}
+
+// clusterJaccard computes the (optionally type-weighted) cluster Jaccard
+// by k-way sorted merges: transactions are sorted, deduplicated int32
+// arena slices (record.Dictionary.Encode sorts them), so the running
+// intersection shrinks in place and the running union ping-pongs between
+// two pooled buffers. Zero allocations at steady state — the alloc guard
+// in block_test.go holds it there. Weights are summed in ascending
+// item-id order, making weighted scores bit-reproducible across runs
+// (the map-based predecessor summed in map-iteration order, which could
+// flip enforceNG ties under ExpertWeights).
 func (s *scorer) clusterJaccard(members []int) float64 {
+	js := jaccardScratchPool.Get().(*jaccardScratch)
 	first := s.txns.Txn(members[0])
-	inter := make(map[int]bool, len(first))
-	union := make(map[int]bool, len(first))
-	for _, id := range first {
-		inter[int(id)] = true
-		union[int(id)] = true
-	}
+	inter := append(js.inter[:0], first...)
+	union := append(js.union[:0], first...)
+	next := js.next[:0]
 	for _, m := range members[1:] {
 		txn := s.txns.Txn(m)
-		cur := make(map[int]bool, len(txn))
-		for _, id := range txn {
-			cur[int(id)] = true
-			union[int(id)] = true
+		inter = intersectSorted32(inter, txn)
+		next = unionSorted32(next[:0], union, txn)
+		union, next = next, union
+	}
+	var score float64
+	if !s.weighted {
+		if len(union) != 0 {
+			score = float64(len(inter)) / float64(len(union))
 		}
-		for id := range inter {
-			if !cur[id] {
-				delete(inter, id)
-			}
+	} else {
+		var wInter, wUnion float64
+		for _, id := range inter {
+			wInter += s.weight(int(id))
+		}
+		for _, id := range union {
+			wUnion += s.weight(int(id))
+		}
+		if wUnion != 0 {
+			score = wInter / wUnion
 		}
 	}
-	var wInter, wUnion float64
-	for id := range inter {
-		wInter += s.weight(id)
+	js.inter, js.union, js.next = inter, union, next
+	jaccardScratchPool.Put(js)
+	return score
+}
+
+// intersectSorted32 intersects two ascending lists, writing the result
+// into dst's prefix.
+func intersectSorted32(dst, b []int32) []int32 {
+	i, j, k := 0, 0, 0
+	for i < len(dst) && j < len(b) {
+		switch {
+		case dst[i] == b[j]:
+			dst[k] = dst[i]
+			k++
+			i++
+			j++
+		case dst[i] < b[j]:
+			i++
+		default:
+			j++
+		}
 	}
-	for id := range union {
-		wUnion += s.weight(id)
+	return dst[:k]
+}
+
+// unionSorted32 merges two ascending duplicate-free lists into dst
+// (cleared by the caller), keeping the result ascending and
+// duplicate-free.
+func unionSorted32(dst, a, b []int32) []int32 {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			dst = append(dst, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			dst = append(dst, a[i])
+			i++
+		default:
+			dst = append(dst, b[j])
+			j++
+		}
 	}
-	if wUnion == 0 {
-		return 0
-	}
-	return wInter / wUnion
+	dst = append(dst, a[i:]...)
+	return append(dst, b[j:]...)
 }
 
 func (s *scorer) weight(itemID int) float64 {
@@ -131,52 +197,86 @@ func (s *scorer) softScore(members []int) float64 {
 	return sum / float64(n)
 }
 
+// softCand is one cross-record item pair with a positive fsim.
+type softCand struct {
+	sim  float64
+	i, j int32
+}
+
+// softScratch is one goroutine's softJaccard state: the candidate list
+// and the used-item bitmasks.
+type softScratch struct {
+	cands []softCand
+	usedA []uint64
+	usedB []uint64
+}
+
+var softScratchPool = sync.Pool{New: func() any { return new(softScratch) }}
+
 // softJaccard greedily matches items of equal type across two records by
-// descending fsim and returns sum(sim) / (|a| + |b| - matched).
+// descending fsim and returns sum(sim) / (|a| + |b| - matched). The
+// greedy order is one sort by (sim desc, i asc, j asc) followed by a
+// used-bitmask scan — the same matching the quadratic
+// rescan-and-remove predecessor produced (it scanned candidates in
+// (i, j)-ascending order and took the first maximum), locked by the
+// golden test in block_test.go.
 func (s *scorer) softJaccard(a, b *record.Record) float64 {
-	type cand struct {
-		i, j int
-		sim  float64
-	}
-	var cands []cand
+	st := softScratchPool.Get().(*softScratch)
+	cands := st.cands[:0]
 	for i, ia := range a.Items {
 		for j, ib := range b.Items {
 			if ia.Type != ib.Type {
 				continue
 			}
 			if sim := s.itemSim.Compare(ia, ib); sim > 0 {
-				cands = append(cands, cand{i, j, sim})
+				cands = append(cands, softCand{sim, int32(i), int32(j)})
 			}
 		}
 	}
-	// Greedy: repeatedly take the best remaining candidate.
-	usedA := make(map[int]bool)
-	usedB := make(map[int]bool)
+	slices.SortFunc(cands, func(x, y softCand) int {
+		switch {
+		case x.sim > y.sim:
+			return -1
+		case x.sim < y.sim:
+			return 1
+		}
+		if x.i != y.i {
+			return int(x.i - y.i)
+		}
+		return int(x.j - y.j)
+	})
+	usedA := clearedMask(st.usedA, len(a.Items))
+	usedB := clearedMask(st.usedB, len(b.Items))
 	var total float64
 	matched := 0
-	for len(cands) > 0 {
-		best := -1
-		for k, c := range cands {
-			if usedA[c.i] || usedB[c.j] {
-				continue
-			}
-			if best < 0 || c.sim > cands[best].sim {
-				best = k
-			}
+	for _, c := range cands {
+		if usedA[c.i>>6]&(1<<uint(c.i&63)) != 0 || usedB[c.j>>6]&(1<<uint(c.j&63)) != 0 {
+			continue
 		}
-		if best < 0 {
-			break
-		}
-		c := cands[best]
-		usedA[c.i] = true
-		usedB[c.j] = true
+		usedA[c.i>>6] |= 1 << uint(c.i&63)
+		usedB[c.j>>6] |= 1 << uint(c.j&63)
 		total += c.sim
 		matched++
-		cands = append(cands[:best], cands[best+1:]...)
 	}
+	st.cands, st.usedA, st.usedB = cands, usedA, usedB
+	softScratchPool.Put(st)
 	denom := float64(len(a.Items) + len(b.Items) - matched)
 	if denom <= 0 {
 		return 0
 	}
 	return total / denom
+}
+
+// clearedMask returns buf resized to cover n bits, zeroed.
+func clearedMask(buf []uint64, n int) []uint64 {
+	words := (n + 63) >> 6
+	if cap(buf) < words {
+		buf = make([]uint64, words)
+		return buf
+	}
+	buf = buf[:words]
+	for w := range buf {
+		buf[w] = 0
+	}
+	return buf
 }

@@ -67,6 +67,14 @@ type Config struct {
 	// everything downstream — bit-identical for every shard count. 0 or
 	// 1 runs the single monolithic mining pass.
 	MineShards int
+	// BlockCache bounds the cross-iteration block materialization cache
+	// (total memoized blocks). The SupportSet contract materializes every
+	// block over the whole database, so an MFI key re-mined at a lower
+	// minsup yields identical members and score; the cache skips that
+	// re-materialization while the per-iteration caps are still re-applied
+	// on every hit, keeping Result.Pairs bit-identical for every cache
+	// size. 0 disables the cache; DefaultBlockCache is the CLI default.
+	BlockCache int
 	// SpillPairs, when positive, routes candidate-pair emission through a
 	// disk-spillable accumulator holding at most this many distinct pairs
 	// in memory: Result.Spill carries the merged (A, B)-sorted stream and
@@ -132,6 +140,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("mfiblocks: MineShards must be >= 0, got %d", c.MineShards)
 	case c.SpillPairs < 0:
 		return fmt.Errorf("mfiblocks: SpillPairs must be >= 0, got %d", c.SpillPairs)
+	case c.BlockCache < 0:
+		return fmt.Errorf("mfiblocks: BlockCache must be >= 0, got %d", c.BlockCache)
 	}
 	return nil
 }

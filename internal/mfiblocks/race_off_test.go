@@ -1,0 +1,8 @@
+//go:build !race
+
+package mfiblocks
+
+// raceEnabled reports whether the race detector is active. The strict
+// allocation guards are relaxed under -race: sync.Pool intentionally
+// drops items there, so pooled scratch reuse cannot be asserted.
+const raceEnabled = false

@@ -114,10 +114,16 @@ func kindOf(s string) Kind {
 
 // Attr is one integer attribute on a span: records, candidates, MFIs,
 // spill runs, bytes. Integer-only keeps attributes deterministic and
-// the export compact; durations live on the span itself.
+// the export compact; durations live on the span itself. Volatile
+// attributes carry values that legitimately vary across equivalent
+// runs (cache hit counts, scheduling artifacts): Full trees and the
+// Chrome export keep them, Canonical trees drop them so the
+// equivalence suite can compare traces across cache and fan-out
+// configurations.
 type Attr struct {
-	Key   string
-	Value int64
+	Key      string
+	Value    int64
+	Volatile bool
 }
 
 // Span is one timed node of the run's hierarchy. Create with
@@ -211,6 +217,18 @@ func (s *Span) Attr(key string, value int64) *Span {
 		return nil
 	}
 	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	return s
+}
+
+// VolatileAttr records one integer attribute excluded from Canonical
+// trees. Use it for values that depend on cache state or scheduling —
+// anything two equivalent runs may legitimately disagree on. Same
+// ownership rule as Attr.
+func (s *Span) VolatileAttr(key string, value int64) *Span {
+	if s == nil {
+		return nil
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value, Volatile: true})
 	return s
 }
 

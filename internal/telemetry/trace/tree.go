@@ -60,11 +60,14 @@ func (t *Tracer) Tree(mode TreeMode) *SpanTree {
 			StartNS:    s.start,
 			DurationNS: s.endOrNow() - s.start,
 		}
-		if len(s.attrs) > 0 {
-			n.Attrs = make(map[string]int64, len(s.attrs))
-			for _, a := range s.attrs {
-				n.Attrs[a.Key] = a.Value
+		for _, a := range s.attrs {
+			if mode == Canonical && a.Volatile {
+				continue
 			}
+			if n.Attrs == nil {
+				n.Attrs = make(map[string]int64, len(s.attrs))
+			}
+			n.Attrs[a.Key] = a.Value
 		}
 		nodes[s] = n
 	}

@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestVolatileAttrs pins the three-surface contract volatile attributes
+// carry: present in the Full tree (debugging), present in the Chrome
+// export args (the CI e2e validation asserts build_blocks cache_hits
+// there), and absent from the Canonical tree — so runs that differ only
+// in cache configuration still canonicalize byte-identically.
+func TestVolatileAttrs(t *testing.T) {
+	tr := New()
+	run := tr.StartSpan(nil, "run", WithKind(KindRun))
+	op := run.Child("build_blocks", WithKind(KindOp)).
+		Attr("blocks", 7).
+		VolatileAttr("cache_hits", 42).
+		VolatileAttr("cache_misses", 3)
+	op.End()
+	run.End()
+
+	full := tr.Tree(Full)
+	node := full.Roots[0].Children[0]
+	if node.Attrs["blocks"] != 7 || node.Attrs["cache_hits"] != 42 || node.Attrs["cache_misses"] != 3 {
+		t.Fatalf("Full tree attrs = %v, want stable and volatile attrs", node.Attrs)
+	}
+
+	canon := tr.Tree(Canonical)
+	cnode := canon.Roots[0].Children[0]
+	if cnode.Attrs["blocks"] != 7 {
+		t.Fatalf("Canonical tree lost a stable attr: %v", cnode.Attrs)
+	}
+	if _, ok := cnode.Attrs["cache_hits"]; ok {
+		t.Fatalf("Canonical tree kept a volatile attr: %v", cnode.Attrs)
+	}
+	if _, ok := cnode.Attrs["cache_misses"]; ok {
+		t.Fatalf("Canonical tree kept a volatile attr: %v", cnode.Attrs)
+	}
+
+	var sb strings.Builder
+	if err := tr.WriteChrome(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var f chromeFile
+	if err := json.Unmarshal([]byte(sb.String()), &f); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	found := false
+	for _, e := range f.TraceEvents {
+		if e.Ph != "X" || e.Name != "build_blocks" {
+			continue
+		}
+		var args map[string]int64
+		if err := json.Unmarshal(e.Args, &args); err != nil {
+			t.Fatal(err)
+		}
+		if args["cache_hits"] != 42 || args["blocks"] != 7 {
+			t.Fatalf("chrome args = %v, want volatile attrs exported", args)
+		}
+		found = true
+	}
+	if !found {
+		t.Fatal("build_blocks event missing from chrome export")
+	}
+}
+
+// TestVolatileAttrNilSafety extends the nil contract to the new entry
+// point.
+func TestVolatileAttrNilSafety(t *testing.T) {
+	var sp *Span
+	if sp.VolatileAttr("x", 1) != nil {
+		t.Fatal("nil span returned a live span from VolatileAttr")
+	}
+	var tr *Tracer
+	tr.StartSpan(nil, "run").VolatileAttr("x", 1).End()
+}
+
+// TestCanonicalEqualAcrossVolatileDivergence is the property the
+// volatile mechanism exists for: two traces whose spans differ only in
+// volatile attr values produce byte-identical canonical JSON.
+func TestCanonicalEqualAcrossVolatileDivergence(t *testing.T) {
+	build := func(hits int64) string {
+		tr := New()
+		run := tr.StartSpan(nil, "run", WithKind(KindRun))
+		run.Child("build_blocks", WithKind(KindOp)).
+			Attr("blocks", 5).
+			VolatileAttr("cache_hits", hits).
+			End()
+		run.End()
+		tree := tr.Tree(Canonical)
+		return mustJSON(t, tree)
+	}
+	if a, b := build(0), build(10_000); a != b {
+		t.Fatalf("canonical trees diverge on volatile attrs:\n%s\nvs\n%s", a, b)
+	}
+}
